@@ -1,0 +1,24 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all test bench repro tools clean
+
+all: test
+
+test:
+	go build ./... && go vet ./... && go test ./...
+
+bench:
+	go test -bench=. -benchmem -benchtime 1x ./...
+
+# Regenerate every paper figure/table at full scale (EXPERIMENTS.md data).
+repro: tools
+	./bin/bbench -experiment all -scale full
+
+tools:
+	mkdir -p bin
+	go build -o bin/bbench ./cmd/bbench
+	go build -o bin/bbrun ./cmd/bbrun
+	go build -o bin/memcachedd ./cmd/memcachedd
+
+clean:
+	rm -rf bin

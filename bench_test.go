@@ -1,0 +1,118 @@
+package hbb
+
+// One testing.B benchmark per figure and table of the paper's evaluation.
+// Each benchmark regenerates its experiment at small scale (fast enough
+// for `go test -bench`) and logs the resulting table; `cmd/bbench
+// -scale full` produces the paper-scale numbers recorded in
+// EXPERIMENTS.md. The benchmark "time" is wall-clock simulation cost, not
+// the virtual-time result — the tables carry the reproduced metrics.
+
+import (
+	"testing"
+	"time"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := ExperimentByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var table string
+	for i := 0; i < b.N; i++ {
+		table = e.Run(ScaleSmall).String()
+	}
+	b.Logf("claim: %s\n%s", e.Claim, table)
+}
+
+// BenchmarkFig1MemcachedLatency regenerates the KV op-latency
+// microbenchmark across transports.
+func BenchmarkFig1MemcachedLatency(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFig2MemcachedThroughput regenerates the KV throughput scaling
+// curve.
+func BenchmarkFig2MemcachedThroughput(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3DFSIOWrite regenerates the TestDFSIO write sweep
+// (claim: up to 2.6x over HDFS, 1.5x over Lustre).
+func BenchmarkFig3DFSIOWrite(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4DFSIORead regenerates the TestDFSIO read sweep
+// (claim: up to 8x read gain).
+func BenchmarkFig4DFSIORead(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5Sort regenerates the Sort execution-time sweep
+// (claim: -28% vs Lustre, -19% vs HDFS).
+func BenchmarkFig5Sort(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6RandomWriter regenerates the RandomWriter sweep.
+func BenchmarkFig6RandomWriter(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7Scalability regenerates the cluster-size scaling sweep.
+func BenchmarkFig7Scalability(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8IOIntensive regenerates the concurrent I/O-intensive mix.
+func BenchmarkFig8IOIntensive(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9FaultTolerance regenerates the buffer-server-crash run.
+func BenchmarkFig9FaultTolerance(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkTab1LocalStorage regenerates the local-storage-requirement
+// table.
+func BenchmarkTab1LocalStorage(b *testing.B) { benchExperiment(b, "tab1") }
+
+// BenchmarkTab2Ablation regenerates the flusher/memory ablation.
+func BenchmarkTab2Ablation(b *testing.B) { benchExperiment(b, "tab2") }
+
+// BenchmarkTab3Stripes regenerates the Lustre stripe/transport ablation.
+func BenchmarkTab3Stripes(b *testing.B) { benchExperiment(b, "tab3") }
+
+// BenchmarkDFSIOWriteHeadline reports the headline write gains as
+// benchmark metrics so regressions are visible in benchstat diffs.
+func BenchmarkDFSIOWriteHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mbps := map[Backend]float64{}
+		for _, bk := range []Backend{BackendHDFS, BackendLustre, BackendBBAsync} {
+			bk := bk
+			tb, err := New(Options{Nodes: 8, Seed: 1, ChunkSize: 4 << 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tb.Run(func(ctx *Ctx) {
+				res, err := ctx.DFSIOWrite(bk, "/bench", 32, 512<<20)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mbps[bk] = res.AggregateMBps()
+			})
+		}
+		if i == 0 {
+			b.ReportMetric(mbps[BackendBBAsync]/mbps[BackendHDFS], "gain-vs-hdfs")
+			b.ReportMetric(mbps[BackendBBAsync]/mbps[BackendLustre], "gain-vs-lustre")
+			b.ReportMetric(mbps[BackendBBAsync], "bb-MB/s")
+		}
+	}
+}
+
+// BenchmarkSimKernel measures raw event throughput of the DES kernel — the
+// cost floor under every experiment.
+func BenchmarkSimKernel(b *testing.B) {
+	tb, err := New(Options{Nodes: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = tb
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb, _ := New(Options{Nodes: 4, Seed: int64(i + 1)})
+		tb.Run(func(ctx *Ctx) {
+			ctx.Sleep(time.Second)
+		})
+	}
+}
+
+// BenchmarkFig10Diskless regenerates the diskless-deployability run.
+func BenchmarkFig10Diskless(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkTab4Extensions regenerates the replication/re-admission
+// extension table.
+func BenchmarkTab4Extensions(b *testing.B) { benchExperiment(b, "tab4") }

@@ -1,0 +1,59 @@
+// Command bbench regenerates the paper's figures and tables. Each
+// experiment builds fresh simulated testbeds, runs the paper's workloads
+// on every backend, and prints a table whose rows mirror the published
+// figure's series.
+//
+// Usage:
+//
+//	bbench -list
+//	bbench -experiment fig3 -scale full
+//	bbench -experiment all -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hbb"
+)
+
+func main() {
+	var (
+		id    = flag.String("experiment", "all", "experiment id (fig1..fig9, tab1..tab3) or 'all'")
+		scale = flag.String("scale", "small", "sizing: 'small' (quick) or 'full' (paper-scale)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range hbb.Experiments() {
+			fmt.Printf("%-5s %s\n      claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+	sc := hbb.Scale(*scale)
+	if sc != hbb.ScaleSmall && sc != hbb.ScaleFull {
+		fmt.Fprintf(os.Stderr, "bbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	run := func(e hbb.Experiment) {
+		start := time.Now()
+		table := e.Run(sc)
+		fmt.Printf("# %s — %s\n# claim: %s\n%s# (generated in %.1fs wall time, scale=%s)\n\n",
+			e.ID, e.Title, e.Claim, table, time.Since(start).Seconds(), sc)
+	}
+	if *id == "all" {
+		for _, e := range hbb.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, ok := hbb.ExperimentByID(*id)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bbench: unknown experiment %q (try -list)\n", *id)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,125 @@
+// Command bbrun executes one workload on one storage backend of the
+// simulated testbed and prints its metrics — the single-run companion to
+// bbench's full sweeps.
+//
+// Usage:
+//
+//	bbrun -workload dfsio-write -backend bb-async -nodes 8 -files 32 -size-mb 1024
+//	bbrun -workload sort -backend lustre -size-mb 8192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hbb"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "dfsio-write", "dfsio-write | dfsio-read | randomwriter | sort | scan")
+		backend  = flag.String("backend", "bb-async", "hdfs | lustre | bb-async | bb-locality | bb-sync")
+		nodes    = flag.Int("nodes", 8, "compute nodes")
+		files    = flag.Int("files", 0, "files/maps (default: 4 per node)")
+		sizeMB   = flag.Int64("size-mb", 1024, "per-file (dfsio/randomwriter) or total (sort/scan) MiB")
+		transp   = flag.String("transport", "rdma", "rdma | ipoib | 10gige | 1gige")
+		hardware = flag.String("hardware", "hpc-local", "hpc-local | diskless")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		trace    = flag.String("trace", "", "write a per-operation FS trace to this file")
+	)
+	flag.Parse()
+
+	var b hbb.Backend
+	found := false
+	for _, cand := range hbb.AllBackends {
+		if cand.String() == *backend {
+			b, found = cand, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "bbrun: unknown backend %q\n", *backend)
+		os.Exit(2)
+	}
+	if *files == 0 {
+		*files = *nodes * 4
+	}
+	opts := hbb.Options{
+		Nodes:     *nodes,
+		Transport: hbb.Transport(*transp),
+		Hardware:  hbb.Hardware(*hardware),
+		Seed:      *seed,
+		ChunkSize: 4 << 20,
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bbrun:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		opts.Trace = f
+	}
+	tb, err := hbb.New(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbrun:", err)
+		os.Exit(1)
+	}
+	size := *sizeMB << 20
+
+	tb.Run(func(ctx *hbb.Ctx) {
+		switch *workload {
+		case "dfsio-write":
+			res, err := ctx.DFSIOWrite(b, "/bench", *files, size)
+			report(err, "files=%d x %dMiB  time=%.2fs  throughput=%.0f MB/s",
+				res.Files, size>>20, res.Duration.Seconds(), res.AggregateMBps())
+		case "dfsio-read":
+			if _, err := ctx.DFSIOWrite(b, "/bench", *files, size); err != nil {
+				report(err, "")
+				return
+			}
+			res, err := ctx.DFSIORead(b, "/bench")
+			report(err, "files=%d  time=%.2fs  throughput=%.0f MB/s  local-maps=%d/%d",
+				res.Files, res.Duration.Seconds(), res.AggregateMBps(), res.DataLocalMaps, res.MapTasks)
+		case "randomwriter":
+			res, err := ctx.RandomWriter(b, "/bench", *files, size)
+			report(err, "maps=%d  time=%.2fs  wrote=%.1f GiB",
+				res.MapTasks, res.Duration.Seconds(), float64(res.BytesOutput)/(1<<30))
+		case "sort":
+			per := size / int64(*files)
+			if _, err := ctx.RandomWriter(b, "/in", *files, per); err != nil {
+				report(err, "")
+				return
+			}
+			res, err := ctx.Sort(b, "/in", "/out", *nodes*2)
+			report(err, "maps=%d reduces=%d  time=%.2fs  shuffled=%.1f GiB  local-maps=%d",
+				res.MapTasks, res.ReduceTasks, res.Duration.Seconds(),
+				float64(res.BytesShuffled)/(1<<30), res.DataLocalMaps)
+		case "scan":
+			per := size / int64(*files)
+			if _, err := ctx.RandomWriter(b, "/in", *files, per); err != nil {
+				report(err, "")
+				return
+			}
+			res, err := ctx.Scan(b, "/in", "/out", 0.02)
+			report(err, "maps=%d  time=%.2fs  read=%.1f GiB",
+				res.MapTasks, res.Duration.Seconds(), float64(res.BytesInput)/(1<<30))
+		default:
+			fmt.Fprintf(os.Stderr, "bbrun: unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+		if st, ok := tb.BurstBufferStats(b); ok {
+			fmt.Printf("burst buffer: flushed=%.1f GiB  reads buffer/local/lustre=%d/%d/%d  stalls=%d evictions=%d\n",
+				float64(st.BytesFlushed)/(1<<30), st.ReadsBuffer, st.ReadsLocal, st.ReadsLustre,
+				st.WriterStalls, st.Evictions)
+		}
+	})
+}
+
+func report(err error, format string, args ...any) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbrun: workload failed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf(format+"\n", args...)
+}

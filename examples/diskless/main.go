@@ -1,0 +1,45 @@
+// Diskless: the paper's motivating scenario — a Stampede-like cluster
+// whose compute nodes have no persistent local storage, only a 12 GiB RAM
+// disk. Stock HDFS (3-way replication) can hold at most nodes x 12/3 GiB;
+// past that it simply cannot take writes, while the burst buffer streams
+// arbitrarily large datasets through to Lustre.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbb"
+)
+
+func main() {
+	const nodes = 8
+	hdfsCapGB := nodes * 12 / 3
+	fmt.Printf("%d diskless nodes: stock HDFS can hold at most ~%d GB\n\n", nodes, hdfsCapGB)
+
+	for _, totalGB := range []int64{int64(hdfsCapGB) / 2, int64(hdfsCapGB) * 2} {
+		fmt.Printf("writing %d GB:\n", totalGB)
+		for _, b := range []hbb.Backend{hbb.BackendHDFS, hbb.BackendBBAsync} {
+			tb, err := hbb.New(hbb.Options{
+				Nodes:    nodes,
+				Hardware: hbb.HardwareDiskless,
+				Seed:     21,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			tb.Run(func(ctx *hbb.Ctx) {
+				files := nodes * 4
+				res, err := ctx.DFSIOWrite(b, "/data", files, totalGB<<30/int64(files))
+				if err != nil {
+					fmt.Printf("  %-10s FAILS: %v\n", b, err)
+					return
+				}
+				ctx.DrainBurstBuffer(b)
+				fmt.Printf("  %-10s ok: %.0f MB/s (local storage used: %.1f GB)\n",
+					b, res.AggregateMBps(), float64(tb.LocalStorageUsed())/(1<<30))
+			})
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,671 @@
+package hbb
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hbb/internal/hashring"
+	"hbb/internal/memcached"
+	"hbb/internal/metrics"
+	"hbb/internal/netsim"
+	"hbb/internal/sim"
+)
+
+// Scale selects experiment sizing: ScaleSmall keeps runs test-suite fast;
+// ScaleFull reproduces the paper's data volumes.
+type Scale string
+
+// Scales.
+const (
+	ScaleSmall Scale = "small"
+	ScaleFull  Scale = "full"
+)
+
+// Experiment is one reproducible figure or table from the evaluation.
+type Experiment struct {
+	ID    string
+	Title string
+	// Claim is the paper statement the experiment validates.
+	Claim string
+	Run   func(scale Scale) *metrics.Table
+}
+
+// Experiments returns the full per-figure/table suite in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig1", "Memcached op latency vs value size and transport",
+			"RDMA ops are several times cheaper than socket transports (enabling result)", fig1},
+		{"fig2", "Memcached aggregate throughput vs client count",
+			"client-partitioned KV store scales with concurrency", fig2},
+		{"fig3", "TestDFSIO write throughput vs data size",
+			"up to 2.6x over HDFS and 1.5x over Lustre", fig3},
+		{"fig4", "TestDFSIO read throughput vs data size",
+			"read throughput gain up to 8x", fig4},
+		{"fig5", "Sort execution time vs data size",
+			"sort time reduced up to 28% vs Lustre and 19% vs HDFS", fig5},
+		{"fig6", "RandomWriter execution time vs data size",
+			"write-path gains carry over to MapReduce jobs", fig6},
+		{"fig7", "DFSIO throughput vs cluster size",
+			"gains hold as the cluster scales", fig7},
+		{"fig8", "I/O-intensive workload mix makespan",
+			"significant benefit for I/O-intensive workloads", fig8},
+		{"fig9", "Fault tolerance: buffer-server crash mid-workload",
+			"schemes differ in loss window; sync and locality lose nothing", fig9},
+		{"fig10", "Deployability on diskless compute nodes",
+			"HDFS cannot hold paper-scale datasets on diskless HPC nodes; the buffer can (motivation)", fig10},
+		{"tab1", "Local storage requirement per design",
+			"burst buffer reduces local storage requirement", tab1},
+		{"tab2", "Ablation: flusher pool size and buffer capacity",
+			"design-choice sensitivity of the async scheme", tab2},
+		{"tab3", "Ablation: Lustre stripe count and transport",
+			"substrate sensitivity of the Lustre baseline", tab3},
+		{"tab4", "Extension: in-buffer replication and read re-admission",
+			"replication closes the async loss window for ~2x write cost; re-admission restores RDMA-speed re-reads", tab4},
+	}
+}
+
+// ExperimentByID finds an experiment.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// experiment sizing per scale.
+type sizing struct {
+	nodes      int
+	files      int // DFSIO file count (= total map slots)
+	dataSizes  []int64
+	sortSizes  []int64
+	chunk      int64
+	scaleNodes []int
+}
+
+func sizingFor(scale Scale) sizing {
+	gib := int64(1) << 30
+	if scale == ScaleFull {
+		return sizing{
+			nodes:      8,
+			files:      32,
+			dataSizes:  []int64{20 * gib, 40 * gib, 60 * gib},
+			sortSizes:  []int64{8 * gib, 16 * gib, 32 * gib},
+			chunk:      4 << 20,
+			scaleNodes: []int{8, 16, 32, 64},
+		}
+	}
+	return sizing{
+		nodes:      4,
+		files:      16,
+		dataSizes:  []int64{2 * gib, 4 * gib},
+		sortSizes:  []int64{1 * gib, 2 * gib},
+		chunk:      4 << 20,
+		scaleNodes: []int{4, 8},
+	}
+}
+
+func gb(b int64) float64 { return float64(b) / (1 << 30) }
+
+// newBench builds a testbed for benchmark runs.
+func newBench(sz sizing, nodes int) *Testbed {
+	tb, err := New(Options{Nodes: nodes, Seed: 1, ChunkSize: sz.chunk})
+	if err != nil {
+		panic(err)
+	}
+	return tb
+}
+
+// comparedBackends are the systems every macro-benchmark compares.
+var comparedBackends = []Backend{BackendHDFS, BackendLustre, BackendBBAsync, BackendBBLocality, BackendBBSync}
+
+// dfsioRun holds one backend's write+read measurement.
+type dfsioRun struct {
+	writeMBps float64
+	readMBps  float64
+}
+
+func runDFSIO(sz sizing, nodes int, total int64, b Backend) dfsioRun {
+	return runDFSIOServers(sz, nodes, total, b, 0)
+}
+
+// runDFSIOServers lets scalability sweeps grow the buffer pool with the
+// cluster (the paper deploys dedicated Memcached nodes proportionally).
+func runDFSIOServers(sz sizing, nodes int, total int64, b Backend, bbServers int) dfsioRun {
+	tb, err := New(Options{Nodes: nodes, Seed: 1, ChunkSize: sz.chunk, BBServers: bbServers})
+	if err != nil {
+		panic(err)
+	}
+	files := sz.files * nodes / sz.nodes
+	if files < nodes {
+		files = nodes
+	}
+	fileSize := total / int64(files)
+	var out dfsioRun
+	tb.Run(func(ctx *Ctx) {
+		w, err := ctx.DFSIOWrite(b, "/bench/dfsio", files, fileSize)
+		if err != nil {
+			return
+		}
+		out.writeMBps = w.AggregateMBps()
+		r, err := ctx.DFSIORead(b, "/bench/dfsio")
+		if err != nil {
+			return
+		}
+		out.readMBps = r.AggregateMBps()
+	})
+	return out
+}
+
+// fig3/fig4 share their runs: write and read phases of the same sweep.
+func dfsioSweep(scale Scale) map[int64]map[Backend]dfsioRun {
+	sz := sizingFor(scale)
+	out := make(map[int64]map[Backend]dfsioRun)
+	for _, total := range sz.dataSizes {
+		row := make(map[Backend]dfsioRun)
+		for _, b := range comparedBackends {
+			row[b] = runDFSIO(sz, sz.nodes, total, b)
+		}
+		out[total] = row
+	}
+	return out
+}
+
+func fig3(scale Scale) *metrics.Table {
+	t := metrics.NewTable("fig3: TestDFSIO WRITE throughput (MB/s)",
+		"data(GB)", "backend", "MB/s", "vs-hdfs", "vs-lustre")
+	sweep := dfsioSweep(scale)
+	for _, total := range sortedSizes(sweep) {
+		row := sweep[total]
+		h := row[BackendHDFS].writeMBps
+		l := row[BackendLustre].writeMBps
+		for _, b := range comparedBackends {
+			v := row[b].writeMBps
+			t.AddRow(fmt.Sprintf("%.0f", gb(total)), b.String(), v, ratio(v, h), ratio(v, l))
+		}
+	}
+	return t
+}
+
+func fig4(scale Scale) *metrics.Table {
+	t := metrics.NewTable("fig4: TestDFSIO READ throughput (MB/s)",
+		"data(GB)", "backend", "MB/s", "vs-hdfs", "vs-lustre")
+	sweep := dfsioSweep(scale)
+	for _, total := range sortedSizes(sweep) {
+		row := sweep[total]
+		h := row[BackendHDFS].readMBps
+		l := row[BackendLustre].readMBps
+		for _, b := range comparedBackends {
+			v := row[b].readMBps
+			t.AddRow(fmt.Sprintf("%.0f", gb(total)), b.String(), v, ratio(v, h), ratio(v, l))
+		}
+	}
+	return t
+}
+
+func ratio(v, base float64) string {
+	if base <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", v/base)
+}
+
+func fig5(scale Scale) *metrics.Table {
+	sz := sizingFor(scale)
+	t := metrics.NewTable("fig5: Sort execution time (s)",
+		"data(GB)", "backend", "time(s)", "vs-hdfs", "vs-lustre")
+	for _, total := range sz.sortSizes {
+		times := map[Backend]time.Duration{}
+		for _, b := range comparedBackends {
+			b := b
+			tb := newBench(sz, sz.nodes)
+			maps := sz.files
+			tb.Run(func(ctx *Ctx) {
+				if _, err := ctx.RandomWriter(b, "/bench/rw", maps, total/int64(maps)); err != nil {
+					return
+				}
+				res, err := ctx.Sort(b, "/bench/rw", "/bench/sorted", sz.nodes*2)
+				if err != nil {
+					return
+				}
+				times[b] = res.Duration
+			})
+		}
+		h := times[BackendHDFS].Seconds()
+		l := times[BackendLustre].Seconds()
+		for _, b := range comparedBackends {
+			s := times[b].Seconds()
+			t.AddRow(fmt.Sprintf("%.0f", gb(total)), b.String(), s, delta(s, h), delta(s, l))
+		}
+	}
+	return t
+}
+
+// delta formats a time saving versus a baseline (negative = faster).
+func delta(v, base float64) string {
+	if base <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.0f%%", (v-base)/base*100)
+}
+
+func fig6(scale Scale) *metrics.Table {
+	sz := sizingFor(scale)
+	t := metrics.NewTable("fig6: RandomWriter execution time (s)",
+		"data(GB)", "backend", "time(s)", "vs-hdfs", "vs-lustre")
+	for _, total := range sz.sortSizes {
+		times := map[Backend]time.Duration{}
+		for _, b := range comparedBackends {
+			b := b
+			tb := newBench(sz, sz.nodes)
+			tb.Run(func(ctx *Ctx) {
+				res, err := ctx.RandomWriter(b, "/bench/rw", sz.files, total/int64(sz.files))
+				if err != nil {
+					return
+				}
+				times[b] = res.Duration
+			})
+		}
+		h := times[BackendHDFS].Seconds()
+		l := times[BackendLustre].Seconds()
+		for _, b := range comparedBackends {
+			s := times[b].Seconds()
+			t.AddRow(fmt.Sprintf("%.0f", gb(total)), b.String(), s, delta(s, h), delta(s, l))
+		}
+	}
+	return t
+}
+
+func fig7(scale Scale) *metrics.Table {
+	sz := sizingFor(scale)
+	t := metrics.NewTable("fig7: DFSIO throughput vs cluster size (fixed 2 GiB/node, 1 buffer server per 2 nodes)",
+		"nodes", "backend", "write MB/s", "read MB/s")
+	for _, nodes := range sz.scaleNodes {
+		total := int64(nodes) * 2 << 30
+		for _, b := range []Backend{BackendHDFS, BackendLustre, BackendBBAsync} {
+			r := runDFSIOServers(sz, nodes, total, b, nodes/2)
+			t.AddRow(nodes, b.String(), r.writeMBps, r.readMBps)
+		}
+	}
+	return t
+}
+
+func fig8(scale Scale) *metrics.Table {
+	sz := sizingFor(scale)
+	total := sz.sortSizes[len(sz.sortSizes)-1]
+	t := metrics.NewTable("fig8: I/O-intensive mix makespan (concurrent Scan + DFSIO write)",
+		"backend", "makespan(s)", "vs-hdfs", "vs-lustre")
+	times := map[Backend]time.Duration{}
+	for _, b := range comparedBackends {
+		b := b
+		tb := newBench(sz, sz.nodes)
+		tb.Run(func(ctx *Ctx) {
+			if _, err := ctx.RandomWriter(b, "/bench/data", sz.files, total/int64(sz.files)); err != nil {
+				return
+			}
+			start := ctx.Now()
+			scan := ctx.Go("mix.scan", func(c2 *Ctx) {
+				_, _ = c2.Scan(b, "/bench/data", "/bench/scan-out", 0.02)
+			})
+			write := ctx.Go("mix.write", func(c2 *Ctx) {
+				_, _ = c2.DFSIOWrite(b, "/bench/io", sz.files/2, total/int64(sz.files))
+			})
+			scan.Wait(ctx)
+			write.Wait(ctx)
+			times[b] = ctx.Now() - start
+		})
+	}
+	h := times[BackendHDFS].Seconds()
+	l := times[BackendLustre].Seconds()
+	for _, b := range comparedBackends {
+		s := times[b].Seconds()
+		t.AddRow(b.String(), s, delta(s, h), delta(s, l))
+	}
+	return t
+}
+
+func fig9(scale Scale) *metrics.Table {
+	sz := sizingFor(scale)
+	total := sz.sortSizes[0]
+	t := metrics.NewTable("fig9: buffer-server crash after write, before read",
+		"scheme", "read-ok", "lost-blocks", "recovered", "read(s)")
+	for _, b := range []Backend{BackendBBAsync, BackendBBLocality, BackendBBSync} {
+		b := b
+		tb := newBench(sz, sz.nodes)
+		var readOK bool
+		var readDur time.Duration
+		tb.Run(func(ctx *Ctx) {
+			if _, err := ctx.DFSIOWrite(b, "/bench/ft", sz.files, total/int64(sz.files)); err != nil {
+				return
+			}
+			// Crash one buffer server while some data is still dirty.
+			ctx.FailBufferServer(b, 0)
+			ctx.Sleep(3 * time.Second) // recovery window
+			start := ctx.Now()
+			r, err := ctx.DFSIORead(b, "/bench/ft")
+			readDur = ctx.Now() - start
+			readOK = err == nil && r.MapTasks > 0
+		})
+		st, _ := tb.BurstBufferStats(b)
+		t.AddRow(b.String(), readOK, st.BlocksLost, st.BlocksRecovered, readDur.Seconds())
+	}
+	return t
+}
+
+func tab1(scale Scale) *metrics.Table {
+	sz := sizingFor(scale)
+	total := sz.dataSizes[0]
+	t := metrics.NewTable(fmt.Sprintf("tab1: compute-node local storage used after writing %.0f GB (and flushing)", gb(total)),
+		"backend", "local-bytes(GB)", "of-dataset", "note")
+	for _, b := range comparedBackends {
+		b := b
+		tb := newBench(sz, sz.nodes)
+		var used int64
+		tb.Run(func(ctx *Ctx) {
+			if _, err := ctx.DFSIOWrite(b, "/bench/ls", sz.files, total/int64(sz.files)); err != nil {
+				return
+			}
+			ctx.DrainBurstBuffer(b)
+			used = tb.LocalStorageUsed()
+		})
+		note := ""
+		switch b {
+		case BackendHDFS:
+			note = "3-way replication on local disks"
+		case BackendLustre:
+			note = "all data on shared Lustre"
+		case BackendBBLocality:
+			note = "one local replica for locality"
+		default:
+			note = "buffer + Lustre only"
+		}
+		t.AddRow(b.String(), gb(used), fmt.Sprintf("%.0f%%", float64(used)/float64(total)*100), note)
+	}
+	return t
+}
+
+func tab2(scale Scale) *metrics.Table {
+	sz := sizingFor(scale)
+	total := sz.dataSizes[len(sz.dataSizes)-1]
+	t := metrics.NewTable(fmt.Sprintf("tab2: bb-async ablation, %.0f GB write", gb(total)),
+		"flushers", "server-mem(GB)", "write MB/s", "stalls", "evictions")
+	mems := []int64{4 << 30, 16 << 30}
+	if scale == ScaleSmall {
+		mems = []int64{1 << 30, 4 << 30}
+	}
+	for _, flushers := range []int{1, 4, 16} {
+		for _, mem := range mems {
+			tb, err := New(Options{
+				Nodes: sz.nodes, Seed: 1, ChunkSize: sz.chunk,
+				BBFlushers: flushers, BBServerMemory: mem,
+			})
+			if err != nil {
+				panic(err)
+			}
+			var mbps float64
+			tb.Run(func(ctx *Ctx) {
+				w, err := ctx.DFSIOWrite(BackendBBAsync, "/bench/abl", sz.files, total/int64(sz.files))
+				if err != nil {
+					return
+				}
+				mbps = w.AggregateMBps()
+			})
+			st, _ := tb.BurstBufferStats(BackendBBAsync)
+			t.AddRow(flushers, mem>>30, mbps, st.WriterStalls, st.Evictions)
+		}
+	}
+	return t
+}
+
+func tab3(scale Scale) *metrics.Table {
+	sz := sizingFor(scale)
+	total := sz.dataSizes[0]
+	t := metrics.NewTable(fmt.Sprintf("tab3: Lustre sensitivity, %.0f GB DFSIO write", gb(total)),
+		"stripe-count", "transport", "write MB/s")
+	for _, stripes := range []int{1, 2, 4, 8} {
+		for _, tr := range []Transport{TransportRDMA, TransportIPoIB} {
+			tb, err := New(Options{
+				Nodes: sz.nodes, Seed: 1, ChunkSize: sz.chunk,
+				Transport: tr, LustreStripeCount: stripes,
+			})
+			if err != nil {
+				panic(err)
+			}
+			var mbps float64
+			tb.Run(func(ctx *Ctx) {
+				w, err := ctx.DFSIOWrite(BackendLustre, "/bench/str", sz.files, total/int64(sz.files))
+				if err != nil {
+					return
+				}
+				mbps = w.AggregateMBps()
+			})
+			t.AddRow(stripes, string(tr), mbps)
+		}
+	}
+	return t
+}
+
+// fig1 measures raw KV op latency per transport and value size on a
+// two-node fabric, mirroring the paper's enabling microbenchmark: set is a
+// payload RDMA-write (or socket send) plus a control RPC; get is a control
+// RPC plus a one-sided RDMA read.
+func fig1(Scale) *metrics.Table {
+	t := metrics.NewTable("fig1: memcached op latency (µs)",
+		"value", "transport", "set(µs)", "get(µs)")
+	sizes := []int64{1, 64, 1 << 10, 16 << 10, 256 << 10, 1 << 20}
+	for _, size := range sizes {
+		for _, prof := range []netsim.Profile{netsim.RDMA, netsim.IPoIB, netsim.TenGigE} {
+			size, prof := size, prof
+			env := sim.New(1)
+			nw := netsim.New(env, prof, 2)
+			eng := memcached.NewEngine(memcached.Config{MemLimit: 64 << 20, MaxItemSize: 2 << 20})
+			nw.Register(1, "kv", func(p *sim.Proc, m *netsim.Msg) netsim.Reply {
+				p.Sleep(3 * time.Microsecond)
+				switch m.Op {
+				case "set":
+					_, err := eng.Set(memcached.Item{Key: m.Payload.(string), Size: int(size)})
+					return netsim.Reply{Size: 32, Err: err}
+				default:
+					it, err := eng.Get(m.Payload.(string))
+					return netsim.Reply{Size: 32, Payload: int64(it.Size), Err: err}
+				}
+			})
+			const ops = 50
+			var setT, getT time.Duration
+			env.Spawn("client", func(p *sim.Proc) {
+				start := p.Now()
+				for i := 0; i < ops; i++ {
+					_ = nw.RDMAWrite(p, 0, 1, size)
+					nw.Call(p, &netsim.Msg{From: 0, To: 1, Service: "kv", Op: "set", Size: 64, Payload: fmt.Sprintf("k%d", i)})
+				}
+				setT = p.Now() - start
+				start = p.Now()
+				for i := 0; i < ops; i++ {
+					nw.Call(p, &netsim.Msg{From: 0, To: 1, Service: "kv", Op: "get", Size: 64, Payload: fmt.Sprintf("k%d", i)})
+					_ = nw.RDMARead(p, 0, 1, size)
+				}
+				getT = p.Now() - start
+			})
+			env.Run()
+			t.AddRow(byteLabel(size), prof.Name,
+				float64(setT.Microseconds())/ops, float64(getT.Microseconds())/ops)
+		}
+	}
+	return t
+}
+
+// fig2 measures aggregate set throughput as clients scale over a 4-server
+// pool partitioned by consistent hashing.
+func fig2(Scale) *metrics.Table {
+	t := metrics.NewTable("fig2: aggregate KV throughput vs clients (4 servers, 4KiB sets)",
+		"clients", "Kops/s", "MB/s")
+	const servers = 4
+	const valSize = 4 << 10
+	const opsPerClient = 400
+	for _, clients := range []int{1, 2, 4, 8, 16, 32, 64} {
+		clients := clients
+		env := sim.New(1)
+		nw := netsim.New(env, netsim.RDMA, clients+servers)
+		ring := hashring.New(0)
+		engines := map[string]netsim.NodeID{}
+		for s := 0; s < servers; s++ {
+			name := fmt.Sprintf("srv%d", s)
+			node := netsim.NodeID(clients + s)
+			eng := memcached.NewEngine(memcached.Config{MemLimit: 256 << 20})
+			nw.Register(node, "kv", func(p *sim.Proc, m *netsim.Msg) netsim.Reply {
+				p.Sleep(3 * time.Microsecond)
+				_, err := eng.Set(memcached.Item{Key: m.Payload.(string), Size: valSize})
+				return netsim.Reply{Size: 32, Err: err}
+			})
+			ring.Add(name)
+			engines[name] = node
+		}
+		for c := 0; c < clients; c++ {
+			c := c
+			env.Spawn(fmt.Sprintf("client%d", c), func(p *sim.Proc) {
+				for i := 0; i < opsPerClient; i++ {
+					key := fmt.Sprintf("c%d-k%d", c, i)
+					node := engines[ring.Get(key)]
+					_ = nw.RDMAWrite(p, netsim.NodeID(c), node, valSize)
+					nw.Call(p, &netsim.Msg{From: netsim.NodeID(c), To: node, Service: "kv", Op: "set", Size: 64, Payload: key})
+				}
+			})
+		}
+		dur := env.Run()
+		totalOps := float64(clients * opsPerClient)
+		t.AddRow(clients, totalOps/dur.Seconds()/1e3, totalOps*valSize/1e6/dur.Seconds())
+	}
+	return t
+}
+
+func byteLabel(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+func sortedSizes(m map[int64]map[Backend]dfsioRun) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// fig10 demonstrates the paper's motivation on diskless (Stampede-like)
+// compute nodes: stock HDFS has only the 12 GiB RAM disks to hold 3
+// replicas per block, so paper-scale datasets simply do not fit, while the
+// burst buffer streams them through to Lustre.
+func fig10(scale Scale) *metrics.Table {
+	sz := sizingFor(scale)
+	t := metrics.NewTable("fig10: diskless compute nodes (12 GiB RAM disk only)",
+		"data(GB)", "backend", "outcome", "MB/s")
+	// HDFS on diskless nodes can hold at most nodes x 12 GiB / replication;
+	// sweep one size inside the wall and one beyond it.
+	hdfsCap := int64(sz.nodes) * 12 * (1 << 30) / 3
+	sizes := []int64{hdfsCap / 2, hdfsCap + hdfsCap/4}
+	for _, total := range sizes {
+		for _, b := range []Backend{BackendHDFS, BackendBBAsync} {
+			tb, err := New(Options{
+				Nodes: sz.nodes, Seed: 1, ChunkSize: sz.chunk,
+				Hardware: HardwareDiskless,
+			})
+			if err != nil {
+				panic(err)
+			}
+			files := sz.files
+			var mbps float64
+			outcome := "ok"
+			tb.Run(func(ctx *Ctx) {
+				res, err := ctx.DFSIOWrite(b, "/bench/dl", files, total/int64(files))
+				if err != nil {
+					outcome = "FAILS (no space)"
+					return
+				}
+				mbps = res.AggregateMBps()
+				ctx.DrainBurstBuffer(b)
+			})
+			t.AddRow(fmt.Sprintf("%.0f", gb(total)), b.String(), outcome, mbps)
+		}
+	}
+	return t
+}
+
+// tab4 measures the extension features: in-buffer replication (durability
+// for write cost) and read re-admission (warm re-reads after eviction).
+func tab4(scale Scale) *metrics.Table {
+	sz := sizingFor(scale)
+	total := sz.sortSizes[0]
+	t := metrics.NewTable("tab4: extensions (bb-async)",
+		"config", "write MB/s", "lost-after-crash", "cold-read MB/s", "warm-read MB/s")
+	for _, cfg := range []struct {
+		label    string
+		replicas int
+		readmit  bool
+	}{
+		{"baseline", 1, false},
+		{"replicas=2", 2, false},
+		{"readmit", 1, true},
+	} {
+		// Run A — durability: crash one server right after the writes ack.
+		tbA, err := New(Options{
+			Nodes: sz.nodes, Seed: 1, ChunkSize: sz.chunk,
+			BBReplicas: cfg.replicas, BBReadmitOnRead: cfg.readmit,
+			BBFlushers: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		var writeMBps float64
+		tbA.Run(func(ctx *Ctx) {
+			w, err := ctx.DFSIOWrite(BackendBBAsync, "/bench/ext", sz.files, total/int64(sz.files))
+			if err != nil {
+				return
+			}
+			writeMBps = w.AggregateMBps()
+			ctx.FailBufferServer(BackendBBAsync, 0)
+		})
+		stA, _ := tbA.BurstBufferStats(BackendBBAsync)
+
+		// Run B — re-reads: write dataset A, then a larger dataset B that
+		// evicts A, then delete B. The first re-read of A is cold (Lustre);
+		// the second is warm only if re-admission refilled the cache.
+		tbB, err := New(Options{
+			Nodes: sz.nodes, Seed: 1, ChunkSize: sz.chunk,
+			BBReplicas: cfg.replicas, BBReadmitOnRead: cfg.readmit,
+			BBServerMemory: total / 2,
+		})
+		if err != nil {
+			panic(err)
+		}
+		var coldMBps, warmMBps float64
+		tbB.Run(func(ctx *Ctx) {
+			if _, err := ctx.DFSIOWrite(BackendBBAsync, "/bench/a", sz.files, total/2/int64(sz.files)); err != nil {
+				return
+			}
+			ctx.DrainBurstBuffer(BackendBBAsync)
+			if _, err := ctx.DFSIOWrite(BackendBBAsync, "/bench/b", sz.files, total*2/int64(sz.files)); err != nil {
+				return
+			}
+			ctx.DrainBurstBuffer(BackendBBAsync)
+			ctx.Cleanup(BackendBBAsync, "/bench/b")
+			if r, err := ctx.DFSIORead(BackendBBAsync, "/bench/a"); err == nil {
+				coldMBps = r.AggregateMBps()
+			}
+			ctx.Sleep(2 * time.Second) // let re-admission fills land
+			if r, err := ctx.DFSIORead(BackendBBAsync, "/bench/a"); err == nil {
+				warmMBps = r.AggregateMBps()
+			}
+		})
+		t.AddRow(cfg.label, writeMBps, stA.BlocksLost, coldMBps, warmMBps)
+	}
+	return t
+}

@@ -1,0 +1,3 @@
+module hbb
+
+go 1.22

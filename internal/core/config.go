@@ -1,0 +1,175 @@
+// Package core implements the paper's primary contribution: a burst buffer
+// built from RDMA-based Memcached servers, interposed between HDFS-style
+// clients and Lustre, with three integration schemes covering the design
+// axes the paper names — raw I/O performance, data-locality, and
+// fault-tolerance.
+//
+//   - SchemeAsyncLustre: writes land in the key-value burst buffer and are
+//     acknowledged immediately; a flusher pool drains dirty blocks to
+//     Lustre in the background. Fastest writes; a loss window exists until
+//     flush completes. No local storage used.
+//   - SchemeLocalityAware: one replica of each block is written to the
+//     writer's node-local storage in parallel with the buffer write, so
+//     map tasks retain HDFS-style data-locality; Lustre persistence stays
+//     asynchronous.
+//   - SchemeSyncLustre: the Lustre write happens before the client's block
+//     ack (write-through); the buffer then serves reads as an RDMA cache.
+//     Zero loss window, writes bounded by Lustre.
+//
+// The buffer servers run the real memcached engine
+// (internal/memcached) with virtual (size-only) items, so allocator, LRU,
+// and statistics behaviour come from real code while simulated payloads
+// cost no host memory.
+package core
+
+import (
+	"time"
+)
+
+// Scheme selects the HDFS-Lustre integration mode.
+type Scheme int
+
+// The three schemes from the paper (named by design axis; see the package
+// comment and DESIGN.md for the mapping).
+const (
+	SchemeAsyncLustre Scheme = iota
+	SchemeLocalityAware
+	SchemeSyncLustre
+)
+
+// String returns the scheme's name as used in reports.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeAsyncLustre:
+		return "bb-async"
+	case SchemeLocalityAware:
+		return "bb-locality"
+	case SchemeSyncLustre:
+		return "bb-sync"
+	default:
+		return "bb-unknown"
+	}
+}
+
+// Config parametrizes the burst buffer file system.
+type Config struct {
+	// Scheme selects the integration mode.
+	Scheme Scheme
+	// Servers is the number of dedicated burst-buffer (RDMA-Memcached)
+	// server nodes. Zero defaults to 4.
+	Servers int
+	// ServerMemory is each server's item-memory budget. Zero defaults to
+	// 16 GiB.
+	ServerMemory int64
+	// BlockSize is the file block size. Zero defaults to 128 MiB.
+	BlockSize int64
+	// ItemChunk is the KV item payload granularity blocks are split into
+	// (RDMA-Memcached stores large values as chunked items). Zero
+	// defaults to 1 MiB.
+	ItemChunk int64
+	// Flushers is the number of background flusher processes per server.
+	// Zero defaults to 4.
+	Flushers int
+	// HighWatermark is the buffer-fullness fraction beyond which writers
+	// stall waiting for flushes (dirty data is never evicted). Zero
+	// defaults to 0.9.
+	HighWatermark float64
+	// MDOpLatency is the metadata manager's per-op processing cost. Zero
+	// defaults to 30 µs (the manager is a lean service compared to a
+	// NameNode).
+	MDOpLatency time.Duration
+	// ServerOpLatency is the per-request processing cost on a buffer
+	// server (RDMA-Memcached's server-side fast path). Zero defaults to
+	// 3 µs.
+	ServerOpLatency time.Duration
+	// ServerIngestRate bounds a server's SET-side payload processing
+	// (slab writes, memory registration): two-sided set traffic contends
+	// on it, while GETs are one-sided RDMA reads that bypass the server
+	// CPU entirely — the asymmetry at the heart of the RDMA-Memcached
+	// design. Zero defaults to 1.5 GB/s, in line with published
+	// RDMA-Memcached single-server throughput for MB-scale values.
+	ServerIngestRate float64
+	// PrefetchWindow bounds in-flight chunk fetches per read stream. Zero
+	// defaults to 8.
+	PrefetchWindow int
+	// BufferReplicas stores each block on this many buffer servers
+	// (default 1). With 2+, a server crash promotes a surviving replica
+	// instead of opening a loss window — the in-store-replication
+	// extension of the paper's design space, paid for with extra client
+	// egress and server ingest on every write.
+	BufferReplicas int
+	// ReadmitOnRead re-admits blocks served from Lustre back into the
+	// buffer as clean cache fills (when the owning server has free space),
+	// so repeated reads of evicted data regain RDMA speed.
+	ReadmitOnRead bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Servers == 0 {
+		c.Servers = 4
+	}
+	if c.ServerMemory == 0 {
+		c.ServerMemory = 16 << 30
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 128 << 20
+	}
+	if c.ItemChunk == 0 {
+		c.ItemChunk = 1 << 20
+	}
+	if c.Flushers == 0 {
+		c.Flushers = 4
+	}
+	if c.HighWatermark == 0 {
+		c.HighWatermark = 0.9
+	}
+	if c.MDOpLatency == 0 {
+		c.MDOpLatency = 30 * time.Microsecond
+	}
+	if c.ServerOpLatency == 0 {
+		c.ServerOpLatency = 3 * time.Microsecond
+	}
+	if c.ServerIngestRate == 0 {
+		c.ServerIngestRate = 1.5e9
+	}
+	if c.PrefetchWindow == 0 {
+		c.PrefetchWindow = 8
+	}
+	if c.BufferReplicas == 0 {
+		c.BufferReplicas = 1
+	}
+	return c
+}
+
+// blockState tracks where a block's bytes currently live.
+type blockState int
+
+const (
+	// stateDirty: only in the buffer; not yet on Lustre.
+	stateDirty blockState = iota
+	// stateFlushing: flusher is copying it to Lustre.
+	stateFlushing
+	// stateClean: in the buffer and on Lustre (evictable).
+	stateClean
+	// stateEvicted: on Lustre only.
+	stateEvicted
+	// stateLost: buffer server died before the block reached Lustre.
+	stateLost
+)
+
+func (s blockState) String() string {
+	switch s {
+	case stateDirty:
+		return "dirty"
+	case stateFlushing:
+		return "flushing"
+	case stateClean:
+		return "clean"
+	case stateEvicted:
+		return "evicted"
+	case stateLost:
+		return "lost"
+	default:
+		return "invalid"
+	}
+}

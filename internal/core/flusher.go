@@ -1,0 +1,70 @@
+package core
+
+import "hbb/internal/sim"
+
+// flusherLoop is one background flusher of a buffer server: it drains the
+// dirty queue, copying blocks from the KV buffer to Lustre. Reading the
+// block out of server memory is effectively free next to the Lustre write,
+// which dominates. The loop ends when the queue is closed (Shutdown) or
+// the server fails.
+func (s *BufferServer) flusherLoop(p *sim.Proc) {
+	for {
+		b, ok := s.dirtyQueue.Get(p)
+		if !ok {
+			return
+		}
+		if s.failed {
+			return
+		}
+		if b.deleted || b.state != stateDirty || b.primary() != s {
+			continue // deleted, reassigned, or already handled
+		}
+		s.flushing++
+		b.state = stateFlushing
+		s.flushBlock(p, b)
+		s.flushing--
+		// The block became evictable on every replica holder, not just the
+		// flushing primary; wake writers stalled on any of them.
+		s.signalFlushProgress()
+		for _, holder := range b.srvs {
+			if holder != s {
+				holder.signalFlushProgress()
+			}
+		}
+	}
+}
+
+// flushBlock copies one block to Lustre and marks it clean (evictable).
+func (s *BufferServer) flushBlock(p *sim.Proc, b *bbBlock) {
+	path := s.fs.blockLustrePath(b)
+	w, err := s.fs.backing.Create(p, s.node, path)
+	if err != nil {
+		// The server (or its link) failed mid-flush; FailServer's resident
+		// scan decides the block's fate.
+		return
+	}
+	remaining := b.size
+	for remaining > 0 {
+		n := min64(remaining, s.fs.cfg.ItemChunk)
+		if err := w.Write(p, n); err != nil {
+			return
+		}
+		remaining -= n
+	}
+	if err := w.Close(p); err != nil {
+		return
+	}
+	if b.deleted {
+		_ = s.fs.backing.Delete(p, s.node, path)
+		return
+	}
+	if b.state != stateFlushing || s.failed {
+		return
+	}
+	b.lustrePath = path
+	b.state = stateClean
+	for _, holder := range b.srvs {
+		holder.cleanLRU = append(holder.cleanLRU, b)
+	}
+	s.fs.stats.BytesFlushed += b.size
+}

@@ -1,0 +1,490 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hbb/internal/cluster"
+	"hbb/internal/dfs"
+	"hbb/internal/hashring"
+	"hbb/internal/lustre"
+	"hbb/internal/netsim"
+	"hbb/internal/sim"
+	"hbb/internal/storage"
+)
+
+// mgrService is the fabric service name of the metadata manager.
+const mgrService = "bb.mgr"
+
+// lustreDir is where flushed blocks live on the backing parallel FS.
+const lustreDir = "/.bb"
+
+// Stats aggregates burst-buffer activity.
+type Stats struct {
+	BytesWritten    int64 // client -> buffer payload
+	BytesRead       int64 // delivered to readers (any source)
+	BytesFlushed    int64 // buffer -> Lustre
+	ReadsBuffer     int64 // blocks served from the KV buffer
+	ReadsLocal      int64 // blocks served from a node-local replica
+	ReadsLustre     int64 // blocks served from Lustre
+	Evictions       int64 // clean blocks evicted for space
+	WriterStalls    int64 // times a writer waited on flush progress
+	BlocksLost      int64 // dirty blocks lost to server failures
+	BlocksRecovered int64 // dirty blocks re-flushed from local replicas
+	BlockRetries    int64 // blocks restarted on another server
+	Promotions      int64 // in-buffer replicas promoted after a crash
+	Readmissions    int64 // blocks re-admitted to the buffer on read
+}
+
+// bbBlock is the manager's record of one block.
+type bbBlock struct {
+	id   int64
+	key  string
+	size int64
+	// state tracks durability; srvs lists the buffer servers holding the
+	// block's payload, primary first (empty once evicted everywhere).
+	state blockState
+	srvs  []*BufferServer
+	// localNode/localDev identify the SchemeLocalityAware replica (-1/nil
+	// when absent).
+	localNode netsim.NodeID
+	localDev  *storage.Device
+	// lustrePath is the backing object, set once a flush or sync write
+	// completed.
+	lustrePath string
+	// attempt counts server reassignments, keeping Lustre object names
+	// unique across retries.
+	attempt int
+	deleted bool
+	// readmitting guards against duplicate cache-fill attempts.
+	readmitting bool
+}
+
+// bbFile is the per-file payload in the namespace tree.
+type bbFile struct {
+	blocks []*bbBlock
+}
+
+func filePayload(f *dfs.TreeFile) *bbFile {
+	if f.Data == nil {
+		f.Data = &bbFile{}
+	}
+	return f.Data.(*bbFile)
+}
+
+// primary returns the block's first in-buffer replica holder, or nil.
+func (b *bbBlock) primary() *BufferServer {
+	if len(b.srvs) == 0 {
+		return nil
+	}
+	return b.srvs[0]
+}
+
+// dropServer removes one in-buffer replica holder.
+func (b *bbBlock) dropServer(s *BufferServer) {
+	keep := b.srvs[:0]
+	for _, cand := range b.srvs {
+		if cand != s {
+			keep = append(keep, cand)
+		}
+	}
+	b.srvs = keep
+}
+
+// BurstFS is the burst-buffer file system: the paper's integration of HDFS
+// clients with Lustre through RDMA-Memcached. It implements
+// dfs.FileSystem.
+type BurstFS struct {
+	cfg       Config
+	cl        *cluster.Cluster
+	net       *netsim.Network
+	backing   *lustre.Lustre
+	MgrNode   netsim.NodeID
+	tree      *dfs.Tree
+	servers   []*BufferServer
+	ring      *hashring.Ring
+	srvByName map[string]*BufferServer
+	nextBlock int64
+	stats     Stats
+}
+
+var _ dfs.FileSystem = (*BurstFS)(nil)
+
+// New assembles a burst buffer over the cluster, backed by the given
+// Lustre instance. Buffer servers get their own fabric nodes (the paper
+// deploys RDMA-Memcached on dedicated nodes). Call Start before running.
+func New(cl *cluster.Cluster, backing *lustre.Lustre, cfg Config) *BurstFS {
+	cfg = cfg.withDefaults()
+	if int64(float64(cfg.ServerMemory)*cfg.HighWatermark) < cfg.BlockSize {
+		panic(fmt.Sprintf("core: server memory %d cannot admit a single %d-byte block",
+			cfg.ServerMemory, cfg.BlockSize))
+	}
+	fs := &BurstFS{
+		cfg:       cfg,
+		cl:        cl,
+		net:       cl.Net,
+		backing:   backing,
+		MgrNode:   cl.Net.AddNode(),
+		tree:      dfs.NewTree(),
+		ring:      hashring.New(0),
+		srvByName: make(map[string]*BufferServer),
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		s := newBufferServer(fs, i)
+		fs.servers = append(fs.servers, s)
+		fs.srvByName[s.name] = s
+		fs.ring.Add(s.name)
+	}
+	fs.net.Register(fs.MgrNode, mgrService, fs.handleMgr)
+	return fs
+}
+
+// Name implements dfs.FileSystem.
+func (fs *BurstFS) Name() string { return fs.cfg.Scheme.String() }
+
+// Stats returns activity counters.
+func (fs *BurstFS) Stats() Stats { return fs.stats }
+
+// Config returns the effective configuration.
+func (fs *BurstFS) Config() Config { return fs.cfg }
+
+// Servers exposes the buffer servers (tests, reports).
+func (fs *BurstFS) Servers() []*BufferServer { return fs.servers }
+
+// BufferedBytes returns total payload resident across servers.
+func (fs *BurstFS) BufferedBytes() int64 {
+	var total int64
+	for _, s := range fs.servers {
+		total += s.bytes
+	}
+	return total
+}
+
+// Start launches the flusher pools. SchemeSyncLustre needs none, but the
+// pools are started anyway to drain recovery work uniformly.
+func (fs *BurstFS) Start() {
+	for _, s := range fs.servers {
+		for i := 0; i < fs.cfg.Flushers; i++ {
+			s := s
+			fs.cl.Env.Spawn(fmt.Sprintf("%s.flusher%d", s.name, i), func(p *sim.Proc) {
+				s.flusherLoop(p)
+			})
+		}
+	}
+}
+
+// Shutdown stops the flusher pools once their queues drain.
+func (fs *BurstFS) Shutdown() {
+	for _, s := range fs.servers {
+		s.dirtyQueue.Close()
+	}
+}
+
+// DrainFlushers blocks the calling process until no dirty or flushing
+// blocks remain (used by harnesses that want flush-inclusive timings).
+func (fs *BurstFS) DrainFlushers(p *sim.Proc) {
+	for {
+		busy := false
+		for _, s := range fs.servers {
+			if s.dirtyQueue.Len() > 0 || s.flushing > 0 {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+		p.Sleep(time.Duration(fs.cl.Env.Rand().Int63n(1e6) + 1e7)) // ~10ms poll
+	}
+}
+
+// FailServer simulates a buffer-server crash. In-buffer replicas are
+// promoted first; then clean blocks remain available on Lustre and dirty
+// blocks are recovered from local replicas when the scheme provides them;
+// otherwise they are lost (the loss window the sync scheme closes).
+func (fs *BurstFS) FailServer(i int) {
+	s := fs.servers[i]
+	s.failed = true
+	fs.net.SetDown(s.node, true)
+	fs.ring.Remove(s.name)
+	s.signalFlushProgress() // release stalled writers into the error path
+	for b := range s.resident {
+		wasPrimary := b.primary() == s
+		b.dropServer(s)
+		if next := b.primary(); next != nil {
+			// A surviving in-buffer replica takes over; dirty blocks go to
+			// the new primary's flusher queue.
+			if wasPrimary && (b.state == stateDirty || b.state == stateFlushing) {
+				b.state = stateDirty
+				next.dirtyQueue.Put(b)
+			}
+			fs.stats.Promotions++
+			continue
+		}
+		switch b.state {
+		case stateClean:
+			b.state = stateEvicted
+		case stateDirty, stateFlushing:
+			if b.localNode >= 0 && !fs.net.Down(b.localNode) {
+				fs.recoverFromLocal(b)
+			} else {
+				b.state = stateLost
+				fs.stats.BlocksLost++
+			}
+		}
+	}
+	s.resident = make(map[*bbBlock]struct{})
+	s.bytes = 0
+}
+
+// recoverFromLocal re-flushes a dirty block from its node-local replica to
+// Lustre after its buffer server died.
+func (fs *BurstFS) recoverFromLocal(b *bbBlock) {
+	fs.cl.Env.Spawn(fmt.Sprintf("bb.recover.b%d", b.id), func(p *sim.Proc) {
+		// A half-finished flush may already own the block's regular object
+		// name; recovery writes a distinct one.
+		path := fmt.Sprintf("%s/blk-%d.recovered", lustreDir, b.id)
+		w, err := fs.backing.Create(p, b.localNode, path)
+		if err != nil {
+			b.state = stateLost
+			fs.stats.BlocksLost++
+			return
+		}
+		remaining := b.size
+		for remaining > 0 {
+			n := min64(remaining, fs.cfg.ItemChunk)
+			b.localDev.Read(p, n)
+			if err := w.Write(p, n); err != nil {
+				b.state = stateLost
+				fs.stats.BlocksLost++
+				return
+			}
+			remaining -= n
+		}
+		if err := w.Close(p); err != nil {
+			b.state = stateLost
+			fs.stats.BlocksLost++
+			return
+		}
+		b.lustrePath = path
+		b.state = stateEvicted
+		fs.stats.BlocksRecovered++
+	})
+}
+
+func (fs *BurstFS) blockLustrePath(b *bbBlock) string {
+	if b.attempt == 0 {
+		return fmt.Sprintf("%s/blk-%d", lustreDir, b.id)
+	}
+	return fmt.Sprintf("%s/blk-%d.%d", lustreDir, b.id, b.attempt)
+}
+
+// pickServers maps a block key to its replica set of live buffer servers.
+func (fs *BurstFS) pickServers(key string) ([]*BufferServer, error) {
+	names := fs.ring.GetN(key, fs.cfg.BufferReplicas)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("core: no live buffer servers")
+	}
+	out := make([]*BufferServer, len(names))
+	for i, n := range names {
+		out[i] = fs.srvByName[n]
+	}
+	return out, nil
+}
+
+// manager RPC payloads.
+type mgrAddBlockReq struct {
+	path   string
+	client netsim.NodeID
+}
+type mgrCommitReq struct {
+	path  string
+	block *bbBlock
+}
+
+// handleMgr serves the metadata manager.
+func (fs *BurstFS) handleMgr(p *sim.Proc, m *netsim.Msg) netsim.Reply {
+	p.Sleep(fs.cfg.MDOpLatency)
+	switch m.Op {
+	case "create":
+		_, err := fs.tree.CreateFile(m.Payload.(string))
+		return netsim.Reply{Size: 64, Err: err}
+	case "mkdir":
+		return netsim.Reply{Size: 64, Err: fs.tree.MkdirAll(m.Payload.(string))}
+	case "addBlock":
+		req := m.Payload.(*mgrAddBlockReq)
+		f, err := fs.tree.GetFile(req.path)
+		if err != nil {
+			return netsim.Reply{Size: 64, Err: err}
+		}
+		if !f.UnderConstruction {
+			return netsim.Reply{Size: 64, Err: fmt.Errorf("%w: %q", dfs.ErrReadOnly, req.path)}
+		}
+		fs.nextBlock++
+		b := &bbBlock{
+			id:        fs.nextBlock,
+			key:       fmt.Sprintf("blk-%d", fs.nextBlock),
+			state:     stateDirty,
+			localNode: -1,
+		}
+		srvs, err := fs.pickServers(b.key)
+		if err != nil {
+			return netsim.Reply{Size: 64, Err: err}
+		}
+		b.srvs = srvs
+		filePayload(f).blocks = append(filePayload(f).blocks, b)
+		return netsim.Reply{Size: 96, Payload: b}
+	case "reassignBlock":
+		// The block's server died mid-write: drop it from the old server's
+		// view and pick the next live one on the ring.
+		b := m.Payload.(*bbBlock)
+		srvs, err := fs.pickServers(b.key)
+		if err != nil {
+			return netsim.Reply{Size: 64, Err: err}
+		}
+		b.srvs = srvs
+		b.state = stateDirty
+		b.attempt++
+		fs.stats.BlockRetries++
+		return netsim.Reply{Size: 96, Payload: b}
+	case "commitBlock":
+		req := m.Payload.(*mgrCommitReq)
+		f, err := fs.tree.GetFile(req.path)
+		if err != nil {
+			return netsim.Reply{Size: 64, Err: err}
+		}
+		f.Size += req.block.size
+		return netsim.Reply{Size: 64}
+	case "complete":
+		f, err := fs.tree.GetFile(m.Payload.(string))
+		if err != nil {
+			return netsim.Reply{Size: 64, Err: err}
+		}
+		f.UnderConstruction = false
+		return netsim.Reply{Size: 64}
+	case "getBlocks":
+		f, err := fs.tree.GetFile(m.Payload.(string))
+		if err != nil {
+			return netsim.Reply{Size: 64, Err: err}
+		}
+		if f.UnderConstruction {
+			return netsim.Reply{Size: 64, Err: fmt.Errorf("%w: %q", dfs.ErrReadOnly, f.Path)}
+		}
+		blocks := filePayload(f).blocks
+		return netsim.Reply{Size: 64 + int64(len(blocks))*48, Payload: blocks}
+	case "stat":
+		fi, err := fs.tree.Stat(m.Payload.(string))
+		return netsim.Reply{Size: 128, Payload: fi, Err: err}
+	case "list":
+		fis, err := fs.tree.List(m.Payload.(string))
+		return netsim.Reply{Size: 64 + int64(len(fis))*64, Payload: fis, Err: err}
+	case "delete":
+		f, err := fs.tree.Remove(m.Payload.(string))
+		if err != nil {
+			return netsim.Reply{Size: 64, Err: err}
+		}
+		if f != nil && f.Data != nil {
+			fs.deleteBlocks(p, filePayload(f).blocks)
+		}
+		return netsim.Reply{Size: 64}
+	default:
+		return netsim.Reply{Err: fmt.Errorf("core: unknown mgr op %q", m.Op)}
+	}
+}
+
+// deleteBlocks releases every copy of the given blocks: buffer items,
+// local replicas, and Lustre objects.
+func (fs *BurstFS) deleteBlocks(p *sim.Proc, blocks []*bbBlock) {
+	for _, b := range blocks {
+		b.deleted = true
+		for _, s := range append([]*BufferServer(nil), b.srvs...) {
+			if !s.failed {
+				s.deleteBlock(b)
+			}
+			b.dropServer(s)
+		}
+		if b.localDev != nil {
+			b.localDev.Dealloc(b.size)
+			b.localDev = nil
+			b.localNode = -1
+		}
+		if b.lustrePath != "" {
+			_ = fs.backing.Delete(p, fs.MgrNode, b.lustrePath)
+		}
+		b.state = stateEvicted
+	}
+}
+
+func (fs *BurstFS) callMgr(p *sim.Proc, from netsim.NodeID, op string, payload any) netsim.Reply {
+	return fs.net.Call(p, &netsim.Msg{
+		From: from, To: fs.MgrNode, Service: mgrService, Op: op,
+		Size: 192, Payload: payload,
+	})
+}
+
+// Mkdir implements dfs.FileSystem.
+func (fs *BurstFS) Mkdir(p *sim.Proc, client netsim.NodeID, path string) error {
+	return fs.callMgr(p, client, "mkdir", path).Err
+}
+
+// Stat implements dfs.FileSystem.
+func (fs *BurstFS) Stat(p *sim.Proc, client netsim.NodeID, path string) (dfs.FileInfo, error) {
+	rep := fs.callMgr(p, client, "stat", path)
+	if rep.Err != nil {
+		return dfs.FileInfo{}, rep.Err
+	}
+	return rep.Payload.(dfs.FileInfo), nil
+}
+
+// List implements dfs.FileSystem.
+func (fs *BurstFS) List(p *sim.Proc, client netsim.NodeID, dir string) ([]dfs.FileInfo, error) {
+	rep := fs.callMgr(p, client, "list", dir)
+	if rep.Err != nil {
+		return nil, rep.Err
+	}
+	return rep.Payload.([]dfs.FileInfo), nil
+}
+
+// Delete implements dfs.FileSystem.
+func (fs *BurstFS) Delete(p *sim.Proc, client netsim.NodeID, path string) error {
+	return fs.callMgr(p, client, "delete", path).Err
+}
+
+// BlockLocations implements dfs.FileSystem: only SchemeLocalityAware
+// yields node-local hosts (its local replicas); buffered and Lustre data
+// is equally remote from every compute node.
+func (fs *BurstFS) BlockLocations(p *sim.Proc, client netsim.NodeID, path string) ([]dfs.BlockLocation, error) {
+	rep := fs.callMgr(p, client, "getBlocks", path)
+	if rep.Err != nil {
+		return nil, rep.Err
+	}
+	blocks := rep.Payload.([]*bbBlock)
+	out := make([]dfs.BlockLocation, len(blocks))
+	var off int64
+	for i, b := range blocks {
+		loc := dfs.BlockLocation{Offset: off, Length: b.size}
+		if b.localNode >= 0 && !fs.net.Down(b.localNode) {
+			loc.Hosts = []netsim.NodeID{b.localNode}
+		}
+		out[i] = loc
+		off += b.size
+	}
+	return out, nil
+}
+
+// LocalStorageUsed reports bytes of compute-node-local storage consumed by
+// the burst buffer (tab1: zero except for SchemeLocalityAware replicas).
+func (fs *BurstFS) LocalStorageUsed() int64 {
+	var total int64
+	for _, n := range fs.cl.Nodes {
+		total += n.LocalUsed()
+	}
+	return total
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

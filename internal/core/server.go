@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+
+	"hbb/internal/memcached"
+	"hbb/internal/netsim"
+	"hbb/internal/sim"
+)
+
+// bbService is the fabric service name of a buffer server.
+const bbService = "bb"
+
+// BufferServer is one RDMA-Memcached node of the burst buffer. It embeds a
+// real memcached engine holding virtual (size-only) items; clients move
+// payload bytes with one-sided RDMA ops and metadata with small RPCs,
+// mirroring the HiBD RDMA-Memcached design.
+type BufferServer struct {
+	fs     *BurstFS
+	index  int
+	name   string
+	node   netsim.NodeID
+	engine *memcached.Engine
+	// ingest models the server's SET-side processing bandwidth; one-sided
+	// GETs bypass it.
+	ingest *sim.Pipe
+	failed bool
+
+	// bytes is the payload currently resident (dirty+flushing+clean).
+	bytes int64
+	// dirtyQueue feeds the server's flusher pool.
+	dirtyQueue *sim.Store[*bbBlock]
+	// cleanLRU orders clean blocks for explicit eviction (head = oldest).
+	cleanLRU []*bbBlock
+	// resident is the set of blocks whose payload lives on this server.
+	resident map[*bbBlock]struct{}
+	// flushing counts blocks currently being copied to Lustre.
+	flushing int
+	// flushProgress fires whenever a flush completes, releasing writers
+	// stalled on a full buffer.
+	flushProgress *sim.Event
+
+	setOps, getOps int64
+}
+
+func newBufferServer(fs *BurstFS, index int) *BufferServer {
+	s := &BufferServer{
+		fs:    fs,
+		index: index,
+		name:  fmt.Sprintf("bbsrv%d", index),
+		node:  fs.net.AddNode(),
+		engine: memcached.NewEngine(memcached.Config{
+			MemLimit:    fs.cfg.ServerMemory,
+			MaxItemSize: int(fs.cfg.ItemChunk) + 512,
+			Clock:       func() int64 { return int64(fs.cl.Env.Now()) },
+		}),
+		dirtyQueue:    sim.NewStore[*bbBlock](),
+		resident:      make(map[*bbBlock]struct{}),
+		flushProgress: &sim.Event{},
+	}
+	s.ingest = sim.NewPipe(s.name+".ingest", fs.cfg.ServerIngestRate)
+	fs.net.Register(s.node, bbService, s.handle)
+	return s
+}
+
+// handle serves the control-plane side of buffer operations. Payload
+// transfers are charged separately by the client via RDMA read/write.
+func (s *BufferServer) handle(p *sim.Proc, m *netsim.Msg) netsim.Reply {
+	p.Sleep(s.fs.cfg.ServerOpLatency)
+	switch m.Op {
+	case "set":
+		req := m.Payload.(*bbSetReq)
+		s.setOps++
+		if _, err := s.engine.Set(memcached.Item{Key: req.key, Size: int(req.size)}); err != nil {
+			return netsim.Reply{Size: 32, Err: err}
+		}
+		return netsim.Reply{Size: 32}
+	case "get":
+		req := m.Payload.(string)
+		s.getOps++
+		it, err := s.engine.Get(req)
+		if err != nil {
+			return netsim.Reply{Size: 32, Err: err}
+		}
+		return netsim.Reply{Size: 32, Payload: int64(it.Size)}
+	case "delete":
+		req := m.Payload.(string)
+		err := s.engine.Delete(req)
+		return netsim.Reply{Size: 32, Err: err}
+	default:
+		return netsim.Reply{Err: fmt.Errorf("core: unknown bb op %q", m.Op)}
+	}
+}
+
+type bbSetReq struct {
+	key  string
+	size int64
+}
+
+// itemKeys returns the chunked item keys of a block.
+func (fs *BurstFS) itemKeys(b *bbBlock) []string {
+	n := int((b.size + fs.cfg.ItemChunk - 1) / fs.cfg.ItemChunk)
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%s#%d", b.key, i)
+	}
+	return keys
+}
+
+// setChunk stores one chunk: the payload moves via one-sided RDMA write,
+// then a small control RPC inserts the virtual item.
+func (s *BufferServer) setChunk(p *sim.Proc, client netsim.NodeID, key string, size int64) error {
+	if err := s.fs.net.RDMAWrite(p, client, s.node, size); err != nil {
+		return err
+	}
+	s.ingest.Transfer(p, size)
+	rep := s.fs.net.Call(p, &netsim.Msg{
+		From: client, To: s.node, Service: bbService, Op: "set",
+		Size: 64, Payload: &bbSetReq{key: key, size: size},
+	})
+	return rep.Err
+}
+
+// getChunk fetches one chunk: a small control RPC resolves the item, then
+// the payload moves via one-sided RDMA read.
+func (s *BufferServer) getChunk(p *sim.Proc, client netsim.NodeID, key string) (int64, error) {
+	rep := s.fs.net.Call(p, &netsim.Msg{
+		From: client, To: s.node, Service: bbService, Op: "get",
+		Size: 64, Payload: key,
+	})
+	if rep.Err != nil {
+		return 0, rep.Err
+	}
+	size := rep.Payload.(int64)
+	if err := s.fs.net.RDMARead(p, client, s.node, size); err != nil {
+		return 0, err
+	}
+	return size, nil
+}
+
+// deleteBlock removes all of a block's items from the engine and adjusts
+// occupancy. It is invoked from manager-side logic (evictions, file
+// deletes) and costs no fabric time: the manager piggybacks invalidations
+// on its existing control traffic.
+func (s *BufferServer) deleteBlock(b *bbBlock) {
+	for _, k := range s.fs.itemKeys(b) {
+		_ = s.engine.Delete(k)
+	}
+	s.bytes -= b.size
+	if s.bytes < 0 {
+		s.bytes = 0
+	}
+	delete(s.resident, b)
+}
+
+// admitted records a block's payload arrival.
+func (s *BufferServer) admitted(b *bbBlock) {
+	s.bytes += b.size
+	s.resident[b] = struct{}{}
+}
+
+// onServer reports whether the block still holds a replica on s.
+func (b *bbBlock) onServer(s *BufferServer) bool {
+	for _, cand := range b.srvs {
+		if cand == s {
+			return true
+		}
+	}
+	return false
+}
+
+// budget returns the writer-stall threshold in bytes.
+func (s *BufferServer) budget() int64 {
+	return int64(float64(s.fs.cfg.ServerMemory) * s.fs.cfg.HighWatermark)
+}
+
+// ensureSpace blocks the writer until size more bytes fit under the
+// watermark, evicting clean blocks first and then waiting on flush
+// progress. This is the burst buffer's backpressure: dirty data is never
+// evicted.
+func (s *BufferServer) ensureSpace(p *sim.Proc, size int64) error {
+	for s.bytes+size > s.budget() {
+		if s.failed {
+			return netsim.ErrNodeDown
+		}
+		if len(s.cleanLRU) > 0 {
+			victim := s.cleanLRU[0]
+			s.cleanLRU = s.cleanLRU[1:]
+			if victim.state != stateClean || !victim.onServer(s) {
+				continue // deleted, re-dirtied, or already dropped here
+			}
+			s.deleteBlock(victim)
+			victim.dropServer(s)
+			if victim.primary() == nil {
+				victim.state = stateEvicted
+			}
+			s.fs.stats.Evictions++
+			continue
+		}
+		// Nothing clean: wait for the flusher pool to make progress.
+		s.fs.stats.WriterStalls++
+		ev := s.flushProgress
+		ev.Wait(p)
+	}
+	return nil
+}
+
+// signalFlushProgress wakes writers stalled in ensureSpace.
+func (s *BufferServer) signalFlushProgress() {
+	ev := s.flushProgress
+	s.flushProgress = &sim.Event{}
+	ev.Trigger()
+}

@@ -1,0 +1,154 @@
+package dfs
+
+import (
+	"fmt"
+	"io"
+
+	"hbb/internal/netsim"
+	"hbb/internal/sim"
+)
+
+// Traced wraps a FileSystem so that every operation is logged to sink with
+// its virtual timestamp, client node, arguments, duration, and outcome —
+// a debugging aid for workload authors. The wrapper forwards the
+// RangeReader capability when the underlying FS provides it.
+func Traced(fs FileSystem, sink io.Writer) FileSystem {
+	t := &tracedFS{fs: fs, sink: sink}
+	if rr, ok := fs.(RangeReader); ok {
+		return &tracedRangeFS{tracedFS: t, rr: rr}
+	}
+	return t
+}
+
+type tracedFS struct {
+	fs   FileSystem
+	sink io.Writer
+}
+
+func (t *tracedFS) log(p *sim.Proc, client netsim.NodeID, op, arg string, start int64, err error) {
+	outcome := "ok"
+	if err != nil {
+		outcome = err.Error()
+	}
+	fmt.Fprintf(t.sink, "%12d %12d %s node=%d %s %s %s\n",
+		start, int64(p.Now())-start, t.fs.Name(), client, op, arg, outcome)
+}
+
+func (t *tracedFS) Name() string { return t.fs.Name() }
+
+func (t *tracedFS) Create(p *sim.Proc, client netsim.NodeID, path string) (Writer, error) {
+	start := int64(p.Now())
+	w, err := t.fs.Create(p, client, path)
+	t.log(p, client, "create", path, start, err)
+	if err != nil {
+		return nil, err
+	}
+	return &tracedWriter{t: t, w: w, client: client, path: path}, nil
+}
+
+func (t *tracedFS) Open(p *sim.Proc, client netsim.NodeID, path string) (Reader, error) {
+	start := int64(p.Now())
+	r, err := t.fs.Open(p, client, path)
+	t.log(p, client, "open", path, start, err)
+	if err != nil {
+		return nil, err
+	}
+	return &tracedReader{t: t, r: r, client: client, path: path}, nil
+}
+
+func (t *tracedFS) Stat(p *sim.Proc, client netsim.NodeID, path string) (FileInfo, error) {
+	start := int64(p.Now())
+	fi, err := t.fs.Stat(p, client, path)
+	t.log(p, client, "stat", path, start, err)
+	return fi, err
+}
+
+func (t *tracedFS) List(p *sim.Proc, client netsim.NodeID, dir string) ([]FileInfo, error) {
+	start := int64(p.Now())
+	fis, err := t.fs.List(p, client, dir)
+	t.log(p, client, "list", dir, start, err)
+	return fis, err
+}
+
+func (t *tracedFS) Delete(p *sim.Proc, client netsim.NodeID, path string) error {
+	start := int64(p.Now())
+	err := t.fs.Delete(p, client, path)
+	t.log(p, client, "delete", path, start, err)
+	return err
+}
+
+func (t *tracedFS) Mkdir(p *sim.Proc, client netsim.NodeID, path string) error {
+	start := int64(p.Now())
+	err := t.fs.Mkdir(p, client, path)
+	t.log(p, client, "mkdir", path, start, err)
+	return err
+}
+
+func (t *tracedFS) BlockLocations(p *sim.Proc, client netsim.NodeID, path string) ([]BlockLocation, error) {
+	start := int64(p.Now())
+	locs, err := t.fs.BlockLocations(p, client, path)
+	t.log(p, client, "locations", path, start, err)
+	return locs, err
+}
+
+type tracedRangeFS struct {
+	*tracedFS
+	rr RangeReader
+}
+
+func (t *tracedRangeFS) ReadRange(p *sim.Proc, client netsim.NodeID, path string, offset, length int64) error {
+	start := int64(p.Now())
+	err := t.rr.ReadRange(p, client, path, offset, length)
+	t.log(p, client, "readrange", fmt.Sprintf("%s[%d:+%d]", path, offset, length), start, err)
+	return err
+}
+
+// tracedWriter aggregates write traffic and logs one line at close.
+type tracedWriter struct {
+	t      *tracedFS
+	w      Writer
+	client netsim.NodeID
+	path   string
+	total  int64
+	start  int64
+}
+
+func (w *tracedWriter) Write(p *sim.Proc, n int64) error {
+	if w.total == 0 {
+		w.start = int64(p.Now())
+	}
+	err := w.w.Write(p, n)
+	w.total += n
+	return err
+}
+
+func (w *tracedWriter) Close(p *sim.Proc) error {
+	err := w.w.Close(p)
+	w.t.log(p, w.client, "write", fmt.Sprintf("%s (%d bytes)", w.path, w.total), w.start, err)
+	return err
+}
+
+// tracedReader aggregates read traffic and logs one line at close.
+type tracedReader struct {
+	t      *tracedFS
+	r      Reader
+	client netsim.NodeID
+	path   string
+	total  int64
+	start  int64
+}
+
+func (r *tracedReader) Read(p *sim.Proc, n int64) (int64, error) {
+	if r.total == 0 {
+		r.start = int64(p.Now())
+	}
+	got, err := r.r.Read(p, n)
+	r.total += got
+	return got, err
+}
+
+func (r *tracedReader) Close(p *sim.Proc) error {
+	err := r.r.Close(p)
+	r.t.log(p, r.client, "read", fmt.Sprintf("%s (%d bytes)", r.path, r.total), r.start, err)
+	return err
+}

@@ -1,0 +1,141 @@
+package dfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    int
+		wantErr bool
+	}{
+		{"/", 0, false},
+		{"/a", 1, false},
+		{"/a/b/c", 3, false},
+		{"/a//b/", 2, false},
+		{"/a/./b", 2, false},
+		{"relative", 0, true},
+		{"", 0, true},
+	}
+	for _, c := range cases {
+		parts, err := SplitPath(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("SplitPath(%q) err = %v", c.in, err)
+			continue
+		}
+		if err == nil && len(parts) != c.want {
+			t.Errorf("SplitPath(%q) = %v, want %d parts", c.in, parts, c.want)
+		}
+	}
+}
+
+func TestTreeCreateLookup(t *testing.T) {
+	tr := NewTree()
+	f, err := tr.CreateFile("/data/input/part-0")
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if f.Path != "/data/input/part-0" || !f.UnderConstruction {
+		t.Errorf("file = %+v", f)
+	}
+	got, err := tr.GetFile("/data/input/part-0")
+	if err != nil || got != f {
+		t.Errorf("GetFile: %v", err)
+	}
+	fi, err := tr.Stat("/data/input")
+	if err != nil || !fi.IsDir {
+		t.Errorf("parent dir: %+v, %v", fi, err)
+	}
+}
+
+func TestTreeCreateConflicts(t *testing.T) {
+	tr := NewTree()
+	if _, err := tr.CreateFile("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.CreateFile("/f"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate create: %v", err)
+	}
+	if err := tr.MkdirAll("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.CreateFile("/dir"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("create over dir: %v", err)
+	}
+	if _, err := tr.CreateFile("/f/child"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("create under file: %v", err)
+	}
+}
+
+func TestTreeListSorted(t *testing.T) {
+	tr := NewTree()
+	for _, p := range []string{"/d/z", "/d/a", "/d/m"} {
+		if _, err := tr.CreateFile(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fis, err := tr.List("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fis) != 3 || fis[0].Path != "/d/a" || fis[2].Path != "/d/z" {
+		t.Errorf("list = %+v", fis)
+	}
+	if _, err := tr.List("/d/a"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("list file: %v", err)
+	}
+	if _, err := tr.List("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("list missing: %v", err)
+	}
+}
+
+func TestTreeRemove(t *testing.T) {
+	tr := NewTree()
+	tr.CreateFile("/d/f")
+	if _, err := tr.Remove("/d"); err == nil {
+		t.Error("removed non-empty directory")
+	}
+	f, err := tr.Remove("/d/f")
+	if err != nil || f == nil {
+		t.Fatalf("remove file: %v", err)
+	}
+	if _, err := tr.Remove("/d"); err != nil {
+		t.Errorf("remove empty dir: %v", err)
+	}
+	if _, err := tr.Remove("/d"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double remove: %v", err)
+	}
+	if _, err := tr.Remove("/"); err == nil {
+		t.Error("removed root")
+	}
+}
+
+func TestTreeStatSizes(t *testing.T) {
+	tr := NewTree()
+	f, _ := tr.CreateFile("/f")
+	f.Size = 1234
+	fi, err := tr.Stat("/f")
+	if err != nil || fi.Size != 1234 || fi.IsDir {
+		t.Errorf("stat = %+v, %v", fi, err)
+	}
+	fi, err = tr.Stat("/")
+	if err != nil || !fi.IsDir {
+		t.Errorf("stat root = %+v, %v", fi, err)
+	}
+	list, err := tr.List("/")
+	if err != nil || len(list) != 1 || list[0].Size != 1234 {
+		t.Errorf("list root = %+v, %v", list, err)
+	}
+}
+
+func TestTreeFileDataPayload(t *testing.T) {
+	tr := NewTree()
+	f, _ := tr.CreateFile("/f")
+	f.Data = []int{1, 2, 3}
+	got, _ := tr.GetFile("/f")
+	if got.Data == nil {
+		t.Error("payload lost")
+	}
+}

@@ -1,0 +1,132 @@
+// Package hashring implements ketama-style consistent hashing with virtual
+// nodes. Memcached deployments use client-side consistent hashing to
+// partition the key space across servers; the burst buffer uses this ring
+// to spread HDFS blocks over the RDMA-Memcached server pool so that adding
+// or removing a server moves only a bounded fraction of keys.
+package hashring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the default number of virtual points per node.
+const DefaultReplicas = 160
+
+// Ring is a consistent-hash ring. The zero value is not usable; call New.
+type Ring struct {
+	replicas int
+	points   []point // sorted by hash
+	nodes    map[string]struct{}
+}
+
+type point struct {
+	hash uint64
+	node string
+}
+
+// New returns an empty ring with the given number of virtual points per
+// node (<= 0 selects DefaultReplicas).
+func New(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]struct{})}
+}
+
+func hashOf(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV alone mixes short, similar strings (node labels with a vnode
+	// suffix) poorly; a splitmix64 finalizer restores avalanche so virtual
+	// points spread uniformly around the ring.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a node. Adding an existing node is a no-op.
+func (r *Ring) Add(node string) {
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, point{hash: hashOf(fmt.Sprintf("%s#%d", node, i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a node and all its virtual points. Removing an absent
+// node is a no-op.
+func (r *Ring) Remove(node string) {
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	keep := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			keep = append(keep, p)
+		}
+	}
+	r.points = keep
+}
+
+// Len returns the number of nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the node names in sorted order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the node owning key, or "" if the ring is empty.
+func (r *Ring) Get(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(hashOf(key))].node
+}
+
+// GetN returns up to n distinct nodes for key, in ring order starting from
+// the owner — the natural replica set for the key.
+func (r *Ring) GetN(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	idx := r.search(hashOf(key))
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(idx+i)%len(r.points)]
+		if _, dup := seen[p.node]; dup {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		out = append(out, p.node)
+	}
+	return out
+}
+
+// search finds the index of the first point with hash >= h (wrapping).
+func (r *Ring) search(h uint64) int {
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if idx == len(r.points) {
+		return 0
+	}
+	return idx
+}

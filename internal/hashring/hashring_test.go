@@ -1,0 +1,184 @@
+package hashring
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func ringWith(nodes ...string) *Ring {
+	r := New(0)
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New(0)
+	if got := r.Get("key"); got != "" {
+		t.Errorf("Get on empty ring = %q", got)
+	}
+	if got := r.GetN("key", 3); got != nil {
+		t.Errorf("GetN on empty ring = %v", got)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestSingleNodeOwnsEverything(t *testing.T) {
+	r := ringWith("only")
+	for i := 0; i < 100; i++ {
+		if got := r.Get(fmt.Sprintf("key%d", i)); got != "only" {
+			t.Fatalf("key%d -> %q", i, got)
+		}
+	}
+}
+
+func TestGetDeterministic(t *testing.T) {
+	r := ringWith("a", "b", "c")
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("key%d", i)
+		first := r.Get(k)
+		for j := 0; j < 5; j++ {
+			if got := r.Get(k); got != first {
+				t.Fatalf("%s: %q then %q", k, first, got)
+			}
+		}
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	r := ringWith("a", "b")
+	points := len(r.points)
+	r.Add("a")
+	if len(r.points) != points {
+		t.Error("duplicate add grew the ring")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	r := ringWith("a", "b", "c")
+	r.Remove("b")
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	for i := 0; i < 200; i++ {
+		if got := r.Get(fmt.Sprintf("key%d", i)); got == "b" {
+			t.Fatalf("removed node still owns key%d", i)
+		}
+	}
+	r.Remove("b") // no-op
+	if r.Len() != 2 {
+		t.Error("double remove changed the ring")
+	}
+}
+
+func TestDistributionRoughlyUniform(t *testing.T) {
+	r := ringWith("n0", "n1", "n2", "n3")
+	counts := make(map[string]int)
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Get(fmt.Sprintf("block-%d", i))]++
+	}
+	want := keys / 4
+	for n, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Errorf("node %s owns %d keys, want within [%d,%d]", n, c, want/2, want*2)
+		}
+	}
+	if len(counts) != 4 {
+		t.Errorf("only %d nodes own keys", len(counts))
+	}
+}
+
+func TestBoundedMovementOnNodeLoss(t *testing.T) {
+	r := ringWith("n0", "n1", "n2", "n3", "n4", "n5", "n6", "n7")
+	const keys = 10000
+	before := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("block-%d", i)
+		before[k] = r.Get(k)
+	}
+	r.Remove("n3")
+	moved := 0
+	for k, owner := range before {
+		now := r.Get(k)
+		if owner == "n3" {
+			if now == "n3" {
+				t.Fatalf("key %s still on removed node", k)
+			}
+			continue // these must move
+		}
+		if now != owner {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed node moved; consistent hashing should move none", moved)
+	}
+}
+
+func TestGetNDistinctAndStable(t *testing.T) {
+	r := ringWith("a", "b", "c", "d", "e")
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key%d", i)
+		got := r.GetN(k, 3)
+		if len(got) != 3 {
+			t.Fatalf("GetN(%q,3) = %v", k, got)
+		}
+		seen := map[string]bool{}
+		for _, n := range got {
+			if seen[n] {
+				t.Fatalf("GetN(%q,3) has duplicate: %v", k, got)
+			}
+			seen[n] = true
+		}
+		if got[0] != r.Get(k) {
+			t.Fatalf("GetN first element %q != Get %q", got[0], r.Get(k))
+		}
+	}
+}
+
+func TestGetNMoreThanNodes(t *testing.T) {
+	r := ringWith("a", "b")
+	got := r.GetN("k", 5)
+	if len(got) != 2 {
+		t.Errorf("GetN capped at node count: got %v", got)
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	r := ringWith("zebra", "alpha", "mid")
+	got := r.Nodes()
+	if fmt.Sprint(got) != "[alpha mid zebra]" {
+		t.Errorf("Nodes() = %v", got)
+	}
+}
+
+// Property: for any key set and any node, removing then re-adding the node
+// restores the exact original assignment.
+func TestPropertyRemoveAddRestores(t *testing.T) {
+	f := func(seed uint8) bool {
+		nodes := []string{"n0", "n1", "n2", "n3", "n4"}
+		r := ringWith(nodes...)
+		victim := nodes[int(seed)%len(nodes)]
+		before := make(map[string]string)
+		for i := 0; i < 500; i++ {
+			k := fmt.Sprintf("k%d", i)
+			before[k] = r.Get(k)
+		}
+		r.Remove(victim)
+		r.Add(victim)
+		for k, owner := range before {
+			if r.Get(k) != owner {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,18 @@
+package hdfs
+
+import "hbb/internal/dfs"
+
+// fileMeta is the per-file payload stored in the dfs.Tree: the ordered
+// block list. Size and under-construction state live on the TreeFile.
+type fileMeta struct {
+	blocks []BlockID
+}
+
+// fileBlocks returns (creating if needed) the block-list payload of a tree
+// file.
+func fileBlocks(f *dfs.TreeFile) *fileMeta {
+	if f.Data == nil {
+		f.Data = &fileMeta{}
+	}
+	return f.Data.(*fileMeta)
+}

@@ -1,0 +1,294 @@
+// Package binproto implements the memcached binary protocol wire format:
+// 24-byte headers, request/response framing, opcode and status constants,
+// and typed encoders/decoders for the commands the engine supports. It is
+// transport-agnostic — it reads from io.Reader and writes to io.Writer —
+// and is shared by the TCP server (mcserver) and client (mcclient).
+package binproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic bytes.
+const (
+	MagicRequest  = 0x80
+	MagicResponse = 0x81
+)
+
+// Opcode identifies a command.
+type Opcode uint8
+
+// Binary protocol opcodes (the subset this implementation speaks).
+const (
+	OpGet       Opcode = 0x00
+	OpSet       Opcode = 0x01
+	OpAdd       Opcode = 0x02
+	OpReplace   Opcode = 0x03
+	OpDelete    Opcode = 0x04
+	OpIncrement Opcode = 0x05
+	OpDecrement Opcode = 0x06
+	OpQuit      Opcode = 0x07
+	OpFlush     Opcode = 0x08
+	OpNoop      Opcode = 0x0a
+	OpVersion   Opcode = 0x0b
+	OpStat      Opcode = 0x10
+	OpTouch     Opcode = 0x1c
+)
+
+// String returns the opcode mnemonic.
+func (o Opcode) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpSet:
+		return "SET"
+	case OpAdd:
+		return "ADD"
+	case OpReplace:
+		return "REPLACE"
+	case OpDelete:
+		return "DELETE"
+	case OpIncrement:
+		return "INCR"
+	case OpDecrement:
+		return "DECR"
+	case OpQuit:
+		return "QUIT"
+	case OpFlush:
+		return "FLUSH"
+	case OpNoop:
+		return "NOOP"
+	case OpVersion:
+		return "VERSION"
+	case OpStat:
+		return "STAT"
+	case OpTouch:
+		return "TOUCH"
+	default:
+		return fmt.Sprintf("OP(0x%02x)", uint8(o))
+	}
+}
+
+// Status is a response status code.
+type Status uint16
+
+// Binary protocol status codes.
+const (
+	StatusOK             Status = 0x0000
+	StatusKeyNotFound    Status = 0x0001
+	StatusKeyExists      Status = 0x0002
+	StatusValueTooLarge  Status = 0x0003
+	StatusInvalidArgs    Status = 0x0004
+	StatusItemNotStored  Status = 0x0005
+	StatusNonNumeric     Status = 0x0006
+	StatusUnknownCommand Status = 0x0081
+	StatusOutOfMemory    Status = 0x0082
+)
+
+// String returns a human-readable status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusKeyNotFound:
+		return "key not found"
+	case StatusKeyExists:
+		return "key exists"
+	case StatusValueTooLarge:
+		return "value too large"
+	case StatusInvalidArgs:
+		return "invalid arguments"
+	case StatusItemNotStored:
+		return "item not stored"
+	case StatusNonNumeric:
+		return "non-numeric value"
+	case StatusUnknownCommand:
+		return "unknown command"
+	case StatusOutOfMemory:
+		return "out of memory"
+	default:
+		return fmt.Sprintf("status(0x%04x)", uint16(s))
+	}
+}
+
+// HeaderSize is the fixed frame header length.
+const HeaderSize = 24
+
+// MaxBody caps a frame body to guard against corrupt length fields.
+const MaxBody = 64 << 20
+
+// ErrBadMagic reports a frame that does not start with a known magic byte.
+var ErrBadMagic = errors.New("binproto: bad magic byte")
+
+// ErrFrameTooLarge reports a body length beyond MaxBody.
+var ErrFrameTooLarge = errors.New("binproto: frame body too large")
+
+// Frame is a decoded request or response.
+type Frame struct {
+	Magic  uint8
+	Op     Opcode
+	Status Status // responses only (requests use it as vbucket; we keep 0)
+	Opaque uint32
+	CAS    uint64
+	Extras []byte
+	Key    []byte
+	Value  []byte
+}
+
+// Request reports whether the frame is a request.
+func (f *Frame) Request() bool { return f.Magic == MagicRequest }
+
+// Write encodes the frame to w.
+func Write(w io.Writer, f *Frame) error {
+	if len(f.Key) > 0xffff {
+		return fmt.Errorf("binproto: key too long (%d)", len(f.Key))
+	}
+	if len(f.Extras) > 0xff {
+		return fmt.Errorf("binproto: extras too long (%d)", len(f.Extras))
+	}
+	body := len(f.Extras) + len(f.Key) + len(f.Value)
+	if body > MaxBody {
+		return ErrFrameTooLarge
+	}
+	var h [HeaderSize]byte
+	h[0] = f.Magic
+	h[1] = uint8(f.Op)
+	binary.BigEndian.PutUint16(h[2:4], uint16(len(f.Key)))
+	h[4] = uint8(len(f.Extras))
+	h[5] = 0 // data type
+	binary.BigEndian.PutUint16(h[6:8], uint16(f.Status))
+	binary.BigEndian.PutUint32(h[8:12], uint32(body))
+	binary.BigEndian.PutUint32(h[12:16], f.Opaque)
+	binary.BigEndian.PutUint64(h[16:24], f.CAS)
+	if _, err := w.Write(h[:]); err != nil {
+		return err
+	}
+	for _, part := range [][]byte{f.Extras, f.Key, f.Value} {
+		if len(part) == 0 {
+			continue
+		}
+		if _, err := w.Write(part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read decodes one frame from r.
+func Read(r io.Reader) (*Frame, error) {
+	var h [HeaderSize]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return nil, err
+	}
+	f := &Frame{
+		Magic:  h[0],
+		Op:     Opcode(h[1]),
+		Status: Status(binary.BigEndian.Uint16(h[6:8])),
+		Opaque: binary.BigEndian.Uint32(h[12:16]),
+		CAS:    binary.BigEndian.Uint64(h[16:24]),
+	}
+	if f.Magic != MagicRequest && f.Magic != MagicResponse {
+		return nil, fmt.Errorf("%w: 0x%02x", ErrBadMagic, f.Magic)
+	}
+	keyLen := int(binary.BigEndian.Uint16(h[2:4]))
+	extLen := int(h[4])
+	bodyLen := int(binary.BigEndian.Uint32(h[8:12]))
+	if bodyLen > MaxBody {
+		return nil, ErrFrameTooLarge
+	}
+	if bodyLen < keyLen+extLen {
+		return nil, fmt.Errorf("binproto: body %d shorter than key %d + extras %d", bodyLen, keyLen, extLen)
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	f.Extras = body[:extLen]
+	f.Key = body[extLen : extLen+keyLen]
+	f.Value = body[extLen+keyLen:]
+	return f, nil
+}
+
+// SetExtras packs the flags+expiry extras of SET/ADD/REPLACE.
+func SetExtras(flags uint32, expiry uint32) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint32(b[0:4], flags)
+	binary.BigEndian.PutUint32(b[4:8], expiry)
+	return b
+}
+
+// ParseSetExtras unpacks SET/ADD/REPLACE extras.
+func ParseSetExtras(extras []byte) (flags, expiry uint32, err error) {
+	if len(extras) != 8 {
+		return 0, 0, fmt.Errorf("binproto: set extras length %d, want 8", len(extras))
+	}
+	return binary.BigEndian.Uint32(extras[0:4]), binary.BigEndian.Uint32(extras[4:8]), nil
+}
+
+// GetExtras packs the flags extras of a GET response.
+func GetExtras(flags uint32) []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, flags)
+	return b
+}
+
+// ParseGetExtras unpacks a GET response's extras.
+func ParseGetExtras(extras []byte) (flags uint32, err error) {
+	if len(extras) != 4 {
+		return 0, fmt.Errorf("binproto: get extras length %d, want 4", len(extras))
+	}
+	return binary.BigEndian.Uint32(extras), nil
+}
+
+// CounterExtras packs the delta+initial+expiry extras of INCR/DECR.
+// expiry 0xffffffff means "fail if absent" per the protocol.
+func CounterExtras(delta, initial uint64, expiry uint32) []byte {
+	b := make([]byte, 20)
+	binary.BigEndian.PutUint64(b[0:8], delta)
+	binary.BigEndian.PutUint64(b[8:16], initial)
+	binary.BigEndian.PutUint32(b[16:20], expiry)
+	return b
+}
+
+// ParseCounterExtras unpacks INCR/DECR extras.
+func ParseCounterExtras(extras []byte) (delta, initial uint64, expiry uint32, err error) {
+	if len(extras) != 20 {
+		return 0, 0, 0, fmt.Errorf("binproto: counter extras length %d, want 20", len(extras))
+	}
+	return binary.BigEndian.Uint64(extras[0:8]),
+		binary.BigEndian.Uint64(extras[8:16]),
+		binary.BigEndian.Uint32(extras[16:20]), nil
+}
+
+// TouchExtras packs the expiry extras of TOUCH (and optionally FLUSH).
+func TouchExtras(expiry uint32) []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint32(b, expiry)
+	return b
+}
+
+// ParseTouchExtras unpacks TOUCH extras.
+func ParseTouchExtras(extras []byte) (expiry uint32, err error) {
+	if len(extras) != 4 {
+		return 0, fmt.Errorf("binproto: touch extras length %d, want 4", len(extras))
+	}
+	return binary.BigEndian.Uint32(extras), nil
+}
+
+// CounterValue encodes the 8-byte response value of INCR/DECR.
+func CounterValue(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+// ParseCounterValue decodes an INCR/DECR response value.
+func ParseCounterValue(v []byte) (uint64, error) {
+	if len(v) != 8 {
+		return 0, fmt.Errorf("binproto: counter value length %d, want 8", len(v))
+	}
+	return binary.BigEndian.Uint64(v), nil
+}

@@ -1,0 +1,194 @@
+package binproto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := &Frame{
+		Magic:  MagicRequest,
+		Op:     OpSet,
+		Opaque: 0xdeadbeef,
+		CAS:    42,
+		Extras: SetExtras(7, 100),
+		Key:    []byte("hello"),
+		Value:  []byte("world"),
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if buf.Len() != HeaderSize+8+5+5 {
+		t.Errorf("frame length = %d", buf.Len())
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\nin:  %+v\nout: %+v", in, out)
+	}
+}
+
+func TestEmptyPartsRoundTrip(t *testing.T) {
+	in := &Frame{Magic: MagicResponse, Op: OpNoop, Status: StatusOK}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if out.Op != OpNoop || len(out.Key) != 0 || len(out.Value) != 0 || len(out.Extras) != 0 {
+		t.Errorf("got %+v", out)
+	}
+}
+
+func TestPropertyRandomFramesRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := &Frame{
+			Magic:  MagicRequest,
+			Op:     Opcode(rng.Intn(0x20)),
+			Opaque: rng.Uint32(),
+			CAS:    rng.Uint64(),
+			Extras: randBytes(rng, rng.Intn(21)),
+			Key:    randBytes(rng, rng.Intn(200)),
+			Value:  randBytes(rng, rng.Intn(5000)),
+		}
+		if rng.Intn(2) == 0 {
+			in.Magic = MagicResponse
+			in.Status = Status(rng.Intn(7))
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		out, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return in.Magic == out.Magic && in.Op == out.Op &&
+			(in.Magic == MagicRequest || in.Status == out.Status) &&
+			in.Opaque == out.Opaque && in.CAS == out.CAS &&
+			bytes.Equal(in.Extras, out.Extras) &&
+			bytes.Equal(in.Key, out.Key) &&
+			bytes.Equal(in.Value, out.Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	if n == 0 {
+		return []byte{}
+	}
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	raw := make([]byte, HeaderSize)
+	raw[0] = 0x55
+	if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte{MagicRequest, 0x00})); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	in := &Frame{Magic: MagicRequest, Op: OpSet, Key: []byte("key"), Value: []byte("value")}
+	var buf bytes.Buffer
+	_ = Write(&buf, in)
+	raw := buf.Bytes()[:buf.Len()-2]
+	if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestBodyShorterThanParts(t *testing.T) {
+	raw := make([]byte, HeaderSize)
+	raw[0] = MagicRequest
+	raw[2], raw[3] = 0, 10 // key length 10
+	// body length stays 0 -> inconsistent
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("inconsistent lengths accepted")
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	raw := make([]byte, HeaderSize)
+	raw[0] = MagicRequest
+	raw[8], raw[9], raw[10], raw[11] = 0xff, 0xff, 0xff, 0xff
+	if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+	long := &Frame{Magic: MagicRequest, Key: make([]byte, 1<<17)}
+	if err := Write(io.Discard, long); err == nil {
+		t.Error("128KiB key accepted (protocol max is 64KiB)")
+	}
+}
+
+func TestExtrasCodecs(t *testing.T) {
+	f, x, err := ParseSetExtras(SetExtras(0xabcd, 0x1234))
+	if err != nil || f != 0xabcd || x != 0x1234 {
+		t.Errorf("set extras: %x %x %v", f, x, err)
+	}
+	g, err := ParseGetExtras(GetExtras(99))
+	if err != nil || g != 99 {
+		t.Errorf("get extras: %d %v", g, err)
+	}
+	d, i, e2, err := ParseCounterExtras(CounterExtras(5, 10, 20))
+	if err != nil || d != 5 || i != 10 || e2 != 20 {
+		t.Errorf("counter extras: %d %d %d %v", d, i, e2, err)
+	}
+	te, err := ParseTouchExtras(TouchExtras(77))
+	if err != nil || te != 77 {
+		t.Errorf("touch extras: %d %v", te, err)
+	}
+	v, err := ParseCounterValue(CounterValue(1 << 40))
+	if err != nil || v != 1<<40 {
+		t.Errorf("counter value: %d %v", v, err)
+	}
+	if _, _, err := ParseSetExtras([]byte{1}); err == nil {
+		t.Error("short set extras accepted")
+	}
+	if _, err := ParseGetExtras(nil); err == nil {
+		t.Error("nil get extras accepted")
+	}
+	if _, _, _, err := ParseCounterExtras([]byte{1, 2}); err == nil {
+		t.Error("short counter extras accepted")
+	}
+	if _, err := ParseCounterValue([]byte{1}); err == nil {
+		t.Error("short counter value accepted")
+	}
+}
+
+func TestOpcodeAndStatusStrings(t *testing.T) {
+	if OpGet.String() != "GET" || OpStat.String() != "STAT" {
+		t.Error("opcode strings wrong")
+	}
+	if Opcode(0x77).String() == "" {
+		t.Error("unknown opcode has empty string")
+	}
+	if StatusOK.String() != "OK" || StatusKeyNotFound.String() != "key not found" {
+		t.Error("status strings wrong")
+	}
+	if Status(0x9999).String() == "" {
+		t.Error("unknown status has empty string")
+	}
+}

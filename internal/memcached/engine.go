@@ -1,0 +1,371 @@
+// Package memcached implements a Memcached-compatible in-memory key-value
+// engine: slab-class allocation, per-class LRU eviction, CAS, lazy TTL
+// expiry, and the usual counter statistics. The engine is the substrate for
+// both the real TCP server (internal/memcached/mcserver, speaking the
+// memcached binary protocol) and the simulated RDMA-Memcached burst-buffer
+// servers (internal/core), which store "virtual" values — size-only items
+// whose payload bytes are never materialized — so that multi-gigabyte
+// simulated datasets use real allocator/LRU/statistics code paths without
+// real memory.
+//
+// The engine is not goroutine-safe; wrap it in a mutex for concurrent use
+// (mcserver does).
+package memcached
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by engine operations. They map 1:1 onto memcached binary
+// protocol status codes.
+var (
+	ErrNotFound   = errors.New("memcached: key not found")
+	ErrExists     = errors.New("memcached: key exists (CAS mismatch)")
+	ErrTooLarge   = errors.New("memcached: object too large for cache")
+	ErrNotStored  = errors.New("memcached: not stored")
+	ErrBadDelta   = errors.New("memcached: non-numeric value for incr/decr")
+	ErrInvalidArg = errors.New("memcached: invalid arguments")
+)
+
+// Item is a cache entry. For a real item, Value holds the payload and Size
+// equals len(Value). For a virtual item, Value is nil and Size declares the
+// payload length; the allocator and statistics treat both identically.
+type Item struct {
+	Key      string
+	Value    []byte
+	Size     int
+	Flags    uint32
+	CAS      uint64
+	ExpireAt int64 // absolute ns timestamp; 0 means never
+}
+
+// Virtual reports whether the item carries no materialized payload.
+func (it *Item) Virtual() bool { return it.Value == nil && it.Size > 0 }
+
+// Config parametrizes an engine.
+type Config struct {
+	// MemLimit bounds total item memory (chunk memory, as in memcached's
+	// -m). Zero defaults to 64 MiB.
+	MemLimit int64
+	// MaxItemSize bounds a single item (key+value+overhead). Zero defaults
+	// to 1 MiB (memcached's classic -I default).
+	MaxItemSize int
+	// GrowthFactor is the slab-class chunk growth factor (memcached -f).
+	// Zero defaults to 1.25.
+	GrowthFactor float64
+	// MinChunk is the smallest chunk size. Zero defaults to 96.
+	MinChunk int
+	// Clock returns the current time in nanoseconds; expiry is evaluated
+	// against it. Nil defaults to a clock frozen at 1 (items never expire
+	// unless ExpireAt is set in the past).
+	Clock func() int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemLimit == 0 {
+		c.MemLimit = 64 << 20
+	}
+	if c.MaxItemSize == 0 {
+		c.MaxItemSize = 1 << 20
+	}
+	if c.GrowthFactor == 0 {
+		c.GrowthFactor = 1.25
+	}
+	if c.MinChunk == 0 {
+		c.MinChunk = 96
+	}
+	if c.Clock == nil {
+		c.Clock = func() int64 { return 1 }
+	}
+	return c
+}
+
+// itemOverhead approximates memcached's per-item metadata cost.
+const itemOverhead = 48
+
+// Stats is the engine's counter set (names follow memcached's `stats`).
+type Stats struct {
+	CmdGet       int64
+	CmdSet       int64
+	GetHits      int64
+	GetMisses    int64
+	DeleteHits   int64
+	DeleteMisses int64
+	CasHits      int64
+	CasMisses    int64
+	CasBadval    int64
+	CurrItems    int64
+	TotalItems   int64
+	Bytes        int64 // bytes used by item data (key+value+overhead)
+	Evictions    int64
+	Expired      int64
+	LimitMaxMB   int64
+}
+
+type entry struct {
+	it    Item
+	class int
+	// intrusive per-class LRU list
+	prev, next *entry
+}
+
+// Engine is the key-value store.
+type Engine struct {
+	cfg     Config
+	table   map[string]*entry
+	slabs   *slabArena
+	casSeq  uint64
+	stats   Stats
+	flushAt int64 // items stored before this instant are invalid
+}
+
+// NewEngine returns an engine with the given configuration.
+func NewEngine(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:   cfg,
+		table: make(map[string]*entry),
+		slabs: newSlabArena(cfg),
+	}
+	e.stats.LimitMaxMB = cfg.MemLimit >> 20
+	return e
+}
+
+// Config returns the effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// itemFootprint is the slab footprint of an item.
+func itemFootprint(key string, size int) int {
+	return len(key) + size + itemOverhead
+}
+
+func (e *Engine) expired(en *entry) bool {
+	if en.it.CAS < e.flushCAS() {
+		return true
+	}
+	return en.it.ExpireAt != 0 && en.it.ExpireAt <= e.cfg.Clock()
+}
+
+// flushCAS returns the CAS floor set by the last Flush.
+func (e *Engine) flushCAS() uint64 { return uint64(e.flushAt) }
+
+// lookup finds a live entry, lazily reaping it if expired.
+func (e *Engine) lookup(key string) *entry {
+	en, ok := e.table[key]
+	if !ok {
+		return nil
+	}
+	if e.expired(en) {
+		e.stats.Expired++
+		e.remove(en)
+		return nil
+	}
+	return en
+}
+
+func (e *Engine) remove(en *entry) {
+	delete(e.table, en.it.Key)
+	e.slabs.free(en)
+	e.stats.CurrItems--
+	e.stats.Bytes -= int64(itemFootprint(en.it.Key, en.it.Size))
+}
+
+// Get returns the item stored under key.
+func (e *Engine) Get(key string) (Item, error) {
+	e.stats.CmdGet++
+	en := e.lookup(key)
+	if en == nil {
+		e.stats.GetMisses++
+		return Item{}, ErrNotFound
+	}
+	e.stats.GetHits++
+	e.slabs.touch(en)
+	return en.it, nil
+}
+
+// Touch updates an item's expiry without fetching it.
+func (e *Engine) Touch(key string, expireAt int64) error {
+	en := e.lookup(key)
+	if en == nil {
+		return ErrNotFound
+	}
+	en.it.ExpireAt = expireAt
+	e.slabs.touch(en)
+	return nil
+}
+
+// Set stores the item unconditionally (unless it cannot fit at all).
+func (e *Engine) Set(it Item) (cas uint64, err error) {
+	return e.store(it, 0, false)
+}
+
+// Add stores the item only if the key is absent.
+func (e *Engine) Add(it Item) (cas uint64, err error) {
+	if e.lookup(it.Key) != nil {
+		return 0, ErrNotStored
+	}
+	return e.store(it, 0, false)
+}
+
+// Replace stores the item only if the key is present.
+func (e *Engine) Replace(it Item) (cas uint64, err error) {
+	if e.lookup(it.Key) == nil {
+		return 0, ErrNotStored
+	}
+	return e.store(it, 0, false)
+}
+
+// CompareAndSwap stores the item only if the current CAS matches expect.
+func (e *Engine) CompareAndSwap(it Item, expect uint64) (cas uint64, err error) {
+	return e.store(it, expect, true)
+}
+
+func (e *Engine) store(it Item, expect uint64, checkCAS bool) (uint64, error) {
+	e.stats.CmdSet++
+	if it.Size < 0 || (it.Value != nil && it.Size != 0 && it.Size != len(it.Value)) {
+		return 0, fmt.Errorf("%w: inconsistent size", ErrInvalidArg)
+	}
+	if it.Value != nil {
+		it.Size = len(it.Value)
+	}
+	foot := itemFootprint(it.Key, it.Size)
+	if foot > e.cfg.MaxItemSize {
+		return 0, fmt.Errorf("%w: %d > max %d", ErrTooLarge, foot, e.cfg.MaxItemSize)
+	}
+	old := e.lookup(it.Key)
+	if checkCAS {
+		if old == nil {
+			e.stats.CasMisses++
+			return 0, ErrNotFound
+		}
+		if old.it.CAS != expect {
+			e.stats.CasBadval++
+			return 0, ErrExists
+		}
+		e.stats.CasHits++
+	}
+	if old != nil {
+		e.remove(old)
+	}
+	e.casSeq++
+	it.CAS = e.casSeq
+	en := &entry{it: it}
+	if err := e.slabs.alloc(en, foot, e.evictOne); err != nil {
+		return 0, err
+	}
+	e.table[it.Key] = en
+	e.stats.CurrItems++
+	e.stats.TotalItems++
+	e.stats.Bytes += int64(foot)
+	return it.CAS, nil
+}
+
+// evictOne evicts the least-recently-used live item of the given class,
+// preferring expired items. It reports whether anything was freed.
+func (e *Engine) evictOne(class int) bool {
+	en := e.slabs.tail(class)
+	if en == nil {
+		return false
+	}
+	if !e.expired(en) {
+		e.stats.Evictions++
+	} else {
+		e.stats.Expired++
+	}
+	e.remove(en)
+	return true
+}
+
+// Delete removes the item stored under key.
+func (e *Engine) Delete(key string) error {
+	en := e.lookup(key)
+	if en == nil {
+		e.stats.DeleteMisses++
+		return ErrNotFound
+	}
+	e.stats.DeleteHits++
+	e.remove(en)
+	return nil
+}
+
+// IncrDecr adjusts a numeric item by delta (negative for decrement,
+// saturating at zero, per protocol). If the key is absent and init is
+// non-nil, the item is created with *init. The new value is returned.
+func (e *Engine) IncrDecr(key string, delta int64, init *uint64, expireAt int64) (uint64, error) {
+	en := e.lookup(key)
+	if en == nil {
+		if init == nil {
+			return 0, ErrNotFound
+		}
+		v := *init
+		_, err := e.store(Item{Key: key, Value: []byte(fmt.Sprintf("%d", v)), ExpireAt: expireAt}, 0, false)
+		return v, err
+	}
+	if en.it.Virtual() {
+		return 0, ErrBadDelta
+	}
+	var cur uint64
+	if _, err := fmt.Sscanf(string(en.it.Value), "%d", &cur); err != nil || !allDigits(en.it.Value) {
+		return 0, ErrBadDelta
+	}
+	var next uint64
+	if delta >= 0 {
+		next = cur + uint64(delta)
+	} else {
+		d := uint64(-delta)
+		if d > cur {
+			next = 0
+		} else {
+			next = cur - d
+		}
+	}
+	it := en.it
+	it.Value = []byte(fmt.Sprintf("%d", next))
+	it.Size = 0
+	if _, err := e.store(it, 0, false); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+func allDigits(b []byte) bool {
+	if len(b) == 0 {
+		return false
+	}
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Flush invalidates every item currently stored (lazily, as memcached
+// does): items with a CAS at or below the current sequence become misses.
+func (e *Engine) Flush() {
+	e.flushAt = int64(e.casSeq) + 1
+}
+
+// Len returns the number of live (possibly expired-but-unreaped) items.
+func (e *Engine) Len() int { return len(e.table) }
+
+// Keys returns the keys of all live items, reaping expired ones. Order is
+// unspecified. Intended for tests and the simulation's recovery paths, not
+// part of the memcached protocol surface.
+func (e *Engine) Keys() []string {
+	keys := make([]string, 0, len(e.table))
+	for k, en := range e.table {
+		if e.expired(en) {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// MemUsed returns bytes of chunk memory in use (allocated pages).
+func (e *Engine) MemUsed() int64 { return e.slabs.memUsed() }

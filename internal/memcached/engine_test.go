@@ -1,0 +1,511 @@
+package memcached
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func newTestEngine() *Engine {
+	return NewEngine(Config{MemLimit: 16 << 20})
+}
+
+func TestSetGet(t *testing.T) {
+	e := newTestEngine()
+	cas, err := e.Set(Item{Key: "k", Value: []byte("v"), Flags: 7})
+	if err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	if cas == 0 {
+		t.Error("set returned zero CAS")
+	}
+	it, err := e.Get("k")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if string(it.Value) != "v" || it.Flags != 7 || it.CAS != cas {
+		t.Errorf("got %+v", it)
+	}
+}
+
+func TestGetMiss(t *testing.T) {
+	e := newTestEngine()
+	if _, err := e.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+	st := e.Stats()
+	if st.GetMisses != 1 || st.CmdGet != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSetOverwrites(t *testing.T) {
+	e := newTestEngine()
+	c1, _ := e.Set(Item{Key: "k", Value: []byte("a")})
+	c2, _ := e.Set(Item{Key: "k", Value: []byte("bb")})
+	if c2 <= c1 {
+		t.Errorf("CAS not monotonic: %d then %d", c1, c2)
+	}
+	it, _ := e.Get("k")
+	if string(it.Value) != "bb" {
+		t.Errorf("value = %q", it.Value)
+	}
+	if e.Len() != 1 {
+		t.Errorf("len = %d", e.Len())
+	}
+}
+
+func TestAddReplaceSemantics(t *testing.T) {
+	e := newTestEngine()
+	if _, err := e.Replace(Item{Key: "k", Value: []byte("x")}); !errors.Is(err, ErrNotStored) {
+		t.Errorf("replace missing: %v", err)
+	}
+	if _, err := e.Add(Item{Key: "k", Value: []byte("x")}); err != nil {
+		t.Errorf("add new: %v", err)
+	}
+	if _, err := e.Add(Item{Key: "k", Value: []byte("y")}); !errors.Is(err, ErrNotStored) {
+		t.Errorf("add existing: %v", err)
+	}
+	if _, err := e.Replace(Item{Key: "k", Value: []byte("z")}); err != nil {
+		t.Errorf("replace existing: %v", err)
+	}
+	it, _ := e.Get("k")
+	if string(it.Value) != "z" {
+		t.Errorf("value = %q", it.Value)
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	e := newTestEngine()
+	cas, _ := e.Set(Item{Key: "k", Value: []byte("a")})
+	if _, err := e.CompareAndSwap(Item{Key: "k", Value: []byte("b")}, cas+99); !errors.Is(err, ErrExists) {
+		t.Errorf("stale CAS: %v", err)
+	}
+	nc, err := e.CompareAndSwap(Item{Key: "k", Value: []byte("b")}, cas)
+	if err != nil {
+		t.Fatalf("matching CAS: %v", err)
+	}
+	if nc == cas {
+		t.Error("CAS did not change after swap")
+	}
+	if _, err := e.CompareAndSwap(Item{Key: "missing", Value: []byte("b")}, 1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("CAS on missing key: %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	e := newTestEngine()
+	e.Set(Item{Key: "k", Value: []byte("v")})
+	if err := e.Delete("k"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, err := e.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Error("key survived delete")
+	}
+	if err := e.Delete("k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+	st := e.Stats()
+	if st.DeleteHits != 1 || st.DeleteMisses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	now := int64(100)
+	e := NewEngine(Config{Clock: func() int64 { return now }})
+	e.Set(Item{Key: "k", Value: []byte("v"), ExpireAt: 200})
+	if _, err := e.Get("k"); err != nil {
+		t.Fatalf("get before expiry: %v", err)
+	}
+	now = 200
+	if _, err := e.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Error("item readable at its expiry instant")
+	}
+	if e.Stats().Expired != 1 {
+		t.Errorf("expired count = %d", e.Stats().Expired)
+	}
+}
+
+func TestTouch(t *testing.T) {
+	now := int64(100)
+	e := NewEngine(Config{Clock: func() int64 { return now }})
+	e.Set(Item{Key: "k", Value: []byte("v"), ExpireAt: 150})
+	if err := e.Touch("k", 500); err != nil {
+		t.Fatalf("touch: %v", err)
+	}
+	now = 300
+	if _, err := e.Get("k"); err != nil {
+		t.Error("touched item expired early")
+	}
+	if err := e.Touch("missing", 500); !errors.Is(err, ErrNotFound) {
+		t.Errorf("touch missing: %v", err)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	e := newTestEngine()
+	e.Set(Item{Key: "a", Value: []byte("1")})
+	e.Set(Item{Key: "b", Value: []byte("2")})
+	e.Flush()
+	if _, err := e.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Error("item survived flush")
+	}
+	e.Set(Item{Key: "c", Value: []byte("3")})
+	if _, err := e.Get("c"); err != nil {
+		t.Errorf("item stored after flush is invisible: %v", err)
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	e := NewEngine(Config{MaxItemSize: 1024})
+	if _, err := e.Set(Item{Key: "k", Value: make([]byte, 2048)}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized set: %v", err)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// Arena of exactly one page; values sized so only a few fit per class.
+	e := NewEngine(Config{MemLimit: 1 << 20, MinChunk: 1 << 18, GrowthFactor: 1.01, MaxItemSize: 1 << 18})
+	// Each item lands in the single 256KiB class; 4 chunks per 1MiB page.
+	val := make([]byte, 200<<10)
+	for i := 0; i < 4; i++ {
+		if _, err := e.Set(Item{Key: fmt.Sprintf("k%d", i), Value: val}); err != nil {
+			t.Fatalf("set k%d: %v", i, err)
+		}
+	}
+	// Touch k0 so k1 becomes LRU.
+	e.Get("k0")
+	if _, err := e.Set(Item{Key: "k4", Value: val}); err != nil {
+		t.Fatalf("set k4 (should evict): %v", err)
+	}
+	if e.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", e.Stats().Evictions)
+	}
+	if _, err := e.Get("k1"); !errors.Is(err, ErrNotFound) {
+		t.Error("k1 (LRU) should have been evicted")
+	}
+	if _, err := e.Get("k0"); err != nil {
+		t.Error("k0 (recently used) was evicted")
+	}
+}
+
+func TestVirtualItems(t *testing.T) {
+	e := NewEngine(Config{MemLimit: 8 << 20, MaxItemSize: 4 << 20})
+	cas, err := e.Set(Item{Key: "blk", Size: 3 << 20})
+	if err != nil {
+		t.Fatalf("virtual set: %v", err)
+	}
+	it, err := e.Get("blk")
+	if err != nil {
+		t.Fatalf("virtual get: %v", err)
+	}
+	if !it.Virtual() || it.Size != 3<<20 || it.CAS != cas {
+		t.Errorf("got %+v", it)
+	}
+	// Virtual items use allocator accounting: two 3MiB items exceed an
+	// 8MiB arena (4MiB pages), so the first should be evicted.
+	if _, err := e.Set(Item{Key: "blk2", Size: 3 << 20}); err != nil {
+		t.Fatalf("second virtual set: %v", err)
+	}
+	if _, err := e.Set(Item{Key: "blk3", Size: 3 << 20}); err != nil {
+		t.Fatalf("third virtual set: %v", err)
+	}
+	if e.Stats().Evictions == 0 {
+		t.Error("virtual items did not trigger eviction accounting")
+	}
+}
+
+func TestIncrDecr(t *testing.T) {
+	e := newTestEngine()
+	e.Set(Item{Key: "n", Value: []byte("10")})
+	v, err := e.IncrDecr("n", 5, nil, 0)
+	if err != nil || v != 15 {
+		t.Fatalf("incr: %d, %v", v, err)
+	}
+	v, err = e.IncrDecr("n", -20, nil, 0)
+	if err != nil || v != 0 {
+		t.Fatalf("decr should saturate at 0: %d, %v", v, err)
+	}
+	if _, err := e.IncrDecr("missing", 1, nil, 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("incr missing without init: %v", err)
+	}
+	init := uint64(42)
+	v, err = e.IncrDecr("fresh", 1, &init, 0)
+	if err != nil || v != 42 {
+		t.Fatalf("incr with init: %d, %v", v, err)
+	}
+	e.Set(Item{Key: "s", Value: []byte("abc")})
+	if _, err := e.IncrDecr("s", 1, nil, 0); !errors.Is(err, ErrBadDelta) {
+		t.Errorf("incr non-numeric: %v", err)
+	}
+}
+
+func TestBytesAccountingBalances(t *testing.T) {
+	e := newTestEngine()
+	for i := 0; i < 100; i++ {
+		e.Set(Item{Key: fmt.Sprintf("k%d", i), Value: make([]byte, i*10)})
+	}
+	for i := 0; i < 100; i += 2 {
+		e.Delete(fmt.Sprintf("k%d", i))
+	}
+	var want int64
+	for i := 1; i < 100; i += 2 {
+		want += int64(itemFootprint(fmt.Sprintf("k%d", i), i*10))
+	}
+	if got := e.Stats().Bytes; got != want {
+		t.Errorf("bytes = %d, want %d", got, want)
+	}
+	if e.Stats().CurrItems != 50 {
+		t.Errorf("curr items = %d", e.Stats().CurrItems)
+	}
+}
+
+func TestSlabClassFor(t *testing.T) {
+	a := newSlabArena(Config{}.withDefaults())
+	for _, c := range a.classes {
+		if c.chunkSize%8 != 0 && c.chunkSize != a.classes[len(a.classes)-1].chunkSize {
+			t.Errorf("chunk size %d not 8-aligned", c.chunkSize)
+		}
+	}
+	// classFor must return the smallest class that fits.
+	for foot := 1; foot <= 1<<20; foot = foot*3/2 + 1 {
+		ci := a.classFor(foot)
+		if ci < 0 {
+			t.Fatalf("no class for %d", foot)
+		}
+		if a.classes[ci].chunkSize < foot {
+			t.Errorf("class %d (%d) too small for %d", ci, a.classes[ci].chunkSize, foot)
+		}
+		if ci > 0 && a.classes[ci-1].chunkSize >= foot {
+			t.Errorf("class %d not minimal for %d", ci, foot)
+		}
+	}
+	if a.classFor(2<<20) != -1 {
+		t.Error("classFor should fail beyond MaxItemSize")
+	}
+}
+
+// TestPropertyEngineMatchesModel drives the engine with random operation
+// sequences and compares every observable result against a plain-map model.
+// Eviction is disabled (huge arena) so the model is exact.
+func TestPropertyEngineMatchesModel(t *testing.T) {
+	type modelItem struct {
+		value string
+		cas   uint64
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine(Config{MemLimit: 1 << 30})
+		model := make(map[string]modelItem)
+		keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+		for op := 0; op < 500; op++ {
+			k := keys[rng.Intn(len(keys))]
+			switch rng.Intn(6) {
+			case 0: // set
+				v := fmt.Sprintf("v%d", rng.Intn(1000))
+				cas, err := e.Set(Item{Key: k, Value: []byte(v)})
+				if err != nil {
+					t.Logf("set error: %v", err)
+					return false
+				}
+				model[k] = modelItem{v, cas}
+			case 1: // get
+				it, err := e.Get(k)
+				m, ok := model[k]
+				if ok != (err == nil) {
+					t.Logf("get %q: engine err=%v model ok=%v", k, err, ok)
+					return false
+				}
+				if ok && (string(it.Value) != m.value || it.CAS != m.cas) {
+					t.Logf("get %q: engine %q/%d model %q/%d", k, it.Value, it.CAS, m.value, m.cas)
+					return false
+				}
+			case 2: // delete
+				err := e.Delete(k)
+				_, ok := model[k]
+				if ok != (err == nil) {
+					return false
+				}
+				delete(model, k)
+			case 3: // add
+				v := fmt.Sprintf("a%d", rng.Intn(1000))
+				cas, err := e.Add(Item{Key: k, Value: []byte(v)})
+				if _, ok := model[k]; ok {
+					if !errors.Is(err, ErrNotStored) {
+						return false
+					}
+				} else {
+					if err != nil {
+						return false
+					}
+					model[k] = modelItem{v, cas}
+				}
+			case 4: // replace
+				v := fmt.Sprintf("r%d", rng.Intn(1000))
+				cas, err := e.Replace(Item{Key: k, Value: []byte(v)})
+				if _, ok := model[k]; !ok {
+					if !errors.Is(err, ErrNotStored) {
+						return false
+					}
+				} else {
+					if err != nil {
+						return false
+					}
+					model[k] = modelItem{v, cas}
+				}
+			case 5: // cas
+				v := fmt.Sprintf("c%d", rng.Intn(1000))
+				m, ok := model[k]
+				var expect uint64 = 12345
+				if ok && rng.Intn(2) == 0 {
+					expect = m.cas
+				}
+				cas, err := e.CompareAndSwap(Item{Key: k, Value: []byte(v)}, expect)
+				switch {
+				case !ok:
+					if !errors.Is(err, ErrNotFound) {
+						return false
+					}
+				case expect != m.cas:
+					if !errors.Is(err, ErrExists) {
+						return false
+					}
+				default:
+					if err != nil {
+						return false
+					}
+					model[k] = modelItem{v, cas}
+				}
+			}
+		}
+		// Final state must match exactly.
+		if e.Len() != len(model) {
+			t.Logf("len: engine %d model %d", e.Len(), len(model))
+			return false
+		}
+		for k, m := range model {
+			it, err := e.Get(k)
+			if err != nil || string(it.Value) != m.value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFootprintInvariant checks that Stats().Bytes always equals
+// the sum of live item footprints under random churn with eviction on.
+func TestPropertyFootprintInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine(Config{MemLimit: 2 << 20})
+		for op := 0; op < 300; op++ {
+			k := fmt.Sprintf("key-%d", rng.Intn(40))
+			if rng.Intn(4) == 0 {
+				e.Delete(k)
+			} else {
+				e.Set(Item{Key: k, Value: make([]byte, rng.Intn(64<<10))})
+			}
+		}
+		var want int64
+		for _, k := range e.Keys() {
+			it, err := e.Get(k)
+			if err != nil {
+				return false
+			}
+			want += int64(itemFootprint(k, it.Size))
+		}
+		return e.Stats().Bytes == want && e.MemUsed() <= 2<<20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeysSkipsExpired(t *testing.T) {
+	now := int64(100)
+	e := NewEngine(Config{Clock: func() int64 { return now }})
+	e.Set(Item{Key: "live", Value: []byte("x")})
+	e.Set(Item{Key: "dead", Value: []byte("y"), ExpireAt: 150})
+	now = 200
+	keys := e.Keys()
+	if len(keys) != 1 || keys[0] != "live" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestInconsistentSizeRejected(t *testing.T) {
+	e := newTestEngine()
+	if _, err := e.Set(Item{Key: "k", Value: []byte("abc"), Size: 99}); !errors.Is(err, ErrInvalidArg) {
+		t.Errorf("inconsistent size: %v", err)
+	}
+	if _, err := e.Set(Item{Key: "k", Size: -1}); !errors.Is(err, ErrInvalidArg) {
+		t.Errorf("negative size: %v", err)
+	}
+}
+
+func TestLongKeys(t *testing.T) {
+	e := newTestEngine()
+	key := strings.Repeat("k", 250)
+	if _, err := e.Set(Item{Key: key, Value: []byte("v")}); err != nil {
+		t.Fatalf("250-byte key: %v", err)
+	}
+	if it, err := e.Get(key); err != nil || string(it.Value) != "v" {
+		t.Errorf("get long key: %v", err)
+	}
+}
+
+func TestLargePageArena(t *testing.T) {
+	// MaxItemSize above 1 MiB grows the page size with it.
+	e := NewEngine(Config{MemLimit: 64 << 20, MaxItemSize: 8 << 20})
+	if _, err := e.Set(Item{Key: "big", Size: 7 << 20}); err != nil {
+		t.Fatalf("7MiB virtual item rejected: %v", err)
+	}
+	if e.MemUsed() < 8<<20 {
+		t.Errorf("mem used = %d; page should be at least MaxItemSize", e.MemUsed())
+	}
+}
+
+func TestGrowthFactorShapesClasses(t *testing.T) {
+	coarse := newSlabArena(Config{GrowthFactor: 2.0}.withDefaults())
+	fine := newSlabArena(Config{GrowthFactor: 1.05, MinChunk: 96, MaxItemSize: 1 << 20, MemLimit: 64 << 20, Clock: func() int64 { return 1 }})
+	if len(fine.classes) <= len(coarse.classes) {
+		t.Errorf("finer growth factor produced %d classes vs %d", len(fine.classes), len(coarse.classes))
+	}
+	// Chunk sizes strictly increase and end exactly at MaxItemSize.
+	for _, a := range []*slabArena{coarse, fine} {
+		for i := 1; i < len(a.classes); i++ {
+			if a.classes[i].chunkSize <= a.classes[i-1].chunkSize {
+				t.Fatalf("chunk sizes not increasing at %d", i)
+			}
+		}
+		if last := a.classes[len(a.classes)-1].chunkSize; last != 1<<20 {
+			t.Errorf("last class = %d, want MaxItemSize", last)
+		}
+	}
+}
+
+func TestOutOfMemoryWhenNothingEvictable(t *testing.T) {
+	// One page, chunks sized so two items need two pages worth of chunks
+	// in DIFFERENT classes: the second class has no page and nothing of
+	// its own to evict.
+	e := NewEngine(Config{MemLimit: 1 << 20, MinChunk: 200 << 10, GrowthFactor: 3.0, MaxItemSize: 900 << 10})
+	// Five 200KiB chunks fill the arena's only page with small items.
+	for i := 0; i < 5; i++ {
+		if _, err := e.Set(Item{Key: fmt.Sprintf("s%d", i), Size: 100 << 10}); err != nil {
+			t.Fatalf("small item %d: %v", i, err)
+		}
+	}
+	// A large item needs the big class: no free page, and the big class
+	// has nothing of its own to evict -> ErrNoMemory.
+	if _, err := e.Set(Item{Key: "big", Size: 800 << 10}); !errors.Is(err, ErrNoMemory) {
+		t.Errorf("err = %v, want ErrNoMemory", err)
+	}
+}

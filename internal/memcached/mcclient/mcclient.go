@@ -1,0 +1,232 @@
+// Package mcclient is a synchronous memcached binary protocol client for a
+// single server connection. It pairs with mcserver but speaks the standard
+// protocol, so it also works against a stock memcached running in binary
+// mode. The client is safe for concurrent use; requests are serialized on
+// the connection.
+package mcclient
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hbb/internal/memcached/binproto"
+)
+
+// Client is a connection to one memcached server.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	opaque uint32
+}
+
+// StatusError is returned for non-OK protocol responses.
+type StatusError struct {
+	Op     binproto.Opcode
+	Status binproto.Status
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("mcclient: %s: %s", e.Op, e.Status)
+}
+
+// IsNotFound reports whether err is a key-not-found protocol status.
+func IsNotFound(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Status == binproto.StatusKeyNotFound
+}
+
+// IsExists reports whether err is a key-exists (CAS mismatch) status.
+func IsExists(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Status == binproto.StatusKeyExists
+}
+
+// IsNotStored reports whether err is a not-stored status.
+func IsNotStored(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Status == binproto.StatusItemNotStored
+}
+
+// Dial connects to addr with the given timeout.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends a request and reads the matching response.
+func (c *Client) roundTrip(req *binproto.Frame) (*binproto.Frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.opaque++
+	req.Magic = binproto.MagicRequest
+	req.Opaque = c.opaque
+	if err := binproto.Write(c.w, req); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	resp, err := binproto.Read(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Opaque != req.Opaque {
+		return nil, fmt.Errorf("mcclient: opaque mismatch: sent %d, got %d", req.Opaque, resp.Opaque)
+	}
+	if resp.Status != binproto.StatusOK {
+		return nil, &StatusError{Op: req.Op, Status: resp.Status}
+	}
+	return resp, nil
+}
+
+// Item is a client-side view of a cache entry.
+type Item struct {
+	Key    string
+	Value  []byte
+	Flags  uint32
+	CAS    uint64
+	Expiry uint32 // seconds (or absolute unix time if > 30 days)
+}
+
+// Get fetches the item stored under key.
+func (c *Client) Get(key string) (*Item, error) {
+	resp, err := c.roundTrip(&binproto.Frame{Op: binproto.OpGet, Key: []byte(key)})
+	if err != nil {
+		return nil, err
+	}
+	flags, err := binproto.ParseGetExtras(resp.Extras)
+	if err != nil {
+		return nil, err
+	}
+	return &Item{Key: key, Value: resp.Value, Flags: flags, CAS: resp.CAS}, nil
+}
+
+func (c *Client) storeOp(op binproto.Opcode, it *Item, cas uint64) (uint64, error) {
+	resp, err := c.roundTrip(&binproto.Frame{
+		Op:     op,
+		Key:    []byte(it.Key),
+		Value:  it.Value,
+		Extras: binproto.SetExtras(it.Flags, it.Expiry),
+		CAS:    cas,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.CAS, nil
+}
+
+// Set stores the item unconditionally and returns its new CAS.
+func (c *Client) Set(it *Item) (uint64, error) { return c.storeOp(binproto.OpSet, it, 0) }
+
+// Add stores the item only if absent.
+func (c *Client) Add(it *Item) (uint64, error) { return c.storeOp(binproto.OpAdd, it, 0) }
+
+// Replace stores the item only if present.
+func (c *Client) Replace(it *Item) (uint64, error) { return c.storeOp(binproto.OpReplace, it, 0) }
+
+// CompareAndSwap stores the item only if the server CAS matches cas.
+func (c *Client) CompareAndSwap(it *Item, cas uint64) (uint64, error) {
+	return c.storeOp(binproto.OpSet, it, cas)
+}
+
+// Delete removes the key.
+func (c *Client) Delete(key string) error {
+	_, err := c.roundTrip(&binproto.Frame{Op: binproto.OpDelete, Key: []byte(key)})
+	return err
+}
+
+// Incr adds delta to a numeric item, creating it as initial if absent.
+func (c *Client) Incr(key string, delta, initial uint64, expiry uint32) (uint64, error) {
+	return c.counterOp(binproto.OpIncrement, key, delta, initial, expiry)
+}
+
+// Decr subtracts delta from a numeric item (saturating at zero).
+func (c *Client) Decr(key string, delta, initial uint64, expiry uint32) (uint64, error) {
+	return c.counterOp(binproto.OpDecrement, key, delta, initial, expiry)
+}
+
+func (c *Client) counterOp(op binproto.Opcode, key string, delta, initial uint64, expiry uint32) (uint64, error) {
+	resp, err := c.roundTrip(&binproto.Frame{
+		Op:     op,
+		Key:    []byte(key),
+		Extras: binproto.CounterExtras(delta, initial, expiry),
+	})
+	if err != nil {
+		return 0, err
+	}
+	return binproto.ParseCounterValue(resp.Value)
+}
+
+// Touch updates an item's expiry.
+func (c *Client) Touch(key string, expiry uint32) error {
+	_, err := c.roundTrip(&binproto.Frame{
+		Op: binproto.OpTouch, Key: []byte(key), Extras: binproto.TouchExtras(expiry),
+	})
+	return err
+}
+
+// Flush invalidates every item on the server.
+func (c *Client) Flush() error {
+	_, err := c.roundTrip(&binproto.Frame{Op: binproto.OpFlush})
+	return err
+}
+
+// Noop performs a protocol no-op (useful as a ping).
+func (c *Client) Noop() error {
+	_, err := c.roundTrip(&binproto.Frame{Op: binproto.OpNoop})
+	return err
+}
+
+// Version returns the server version string.
+func (c *Client) Version() (string, error) {
+	resp, err := c.roundTrip(&binproto.Frame{Op: binproto.OpVersion})
+	if err != nil {
+		return "", err
+	}
+	return string(resp.Value), nil
+}
+
+// Stats fetches the server's statistics map.
+func (c *Client) Stats() (map[string]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.opaque++
+	req := &binproto.Frame{Magic: binproto.MagicRequest, Op: binproto.OpStat, Opaque: c.opaque}
+	if err := binproto.Write(c.w, req); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for {
+		resp, err := binproto.Read(c.r)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Status != binproto.StatusOK {
+			return nil, &StatusError{Op: binproto.OpStat, Status: resp.Status}
+		}
+		if len(resp.Key) == 0 {
+			return out, nil
+		}
+		out[string(resp.Key)] = string(resp.Value)
+	}
+}

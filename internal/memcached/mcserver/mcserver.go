@@ -1,0 +1,310 @@
+// Package mcserver serves a memcached.Engine over TCP using the memcached
+// binary protocol. One goroutine per connection; the engine is guarded by a
+// single mutex (the engine itself is not goroutine-safe), which matches
+// memcached's global-lock behaviour for the command set we implement.
+package mcserver
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"hbb/internal/memcached"
+	"hbb/internal/memcached/binproto"
+)
+
+// Version is the version string reported for OpVersion.
+const Version = "hbb-memcached/1.0"
+
+// Server wraps an engine and serves connections.
+type Server struct {
+	mu     sync.Mutex
+	engine *memcached.Engine
+	now    func() int64
+
+	lnMu   sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	connsAccepted int64
+}
+
+// New returns a server over a fresh engine with the given configuration.
+// The engine clock is wall time unless cfg.Clock is set.
+func New(cfg memcached.Config) *Server {
+	if cfg.Clock == nil {
+		cfg.Clock = func() int64 { return time.Now().UnixNano() }
+	}
+	return &Server{
+		engine: memcached.NewEngine(cfg),
+		now:    cfg.Clock,
+		conns:  make(map[net.Conn]struct{}),
+	}
+}
+
+// Engine exposes the underlying engine (callers must not use it
+// concurrently with a running server except via Stats-style reads they
+// synchronize themselves; tests use it after Close).
+func (s *Server) Engine() *memcached.Engine { return s.engine }
+
+// ListenAndServe listens on addr and serves until Close is called.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections from ln until Close is called.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.connsAccepted++
+		s.mu.Unlock()
+		s.lnMu.Lock()
+		if s.closed {
+			s.lnMu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.lnMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.lnMu.Lock()
+				delete(s.conns, conn)
+				s.lnMu.Unlock()
+			}()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Addr returns the listening address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the listener and terminates every active connection.
+func (s *Server) Close() error {
+	s.lnMu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	ln := s.ln
+	s.lnMu.Unlock()
+	if ln == nil {
+		return nil
+	}
+	return ln.Close()
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	// Like real memcached, both protocols share the port: binary requests
+	// always start with the magic byte, ASCII commands with a letter.
+	first, err := r.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] != binproto.MagicRequest {
+		s.serveText(r, w)
+		return
+	}
+	for {
+		req, err := binproto.Read(r)
+		if err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		if !req.Request() {
+			return
+		}
+		quit := s.dispatch(w, req)
+		if err := w.Flush(); err != nil || quit {
+			return
+		}
+	}
+}
+
+// Engine error predicates shared by both protocol front-ends.
+func isNotFound(err error) bool  { return errors.Is(err, memcached.ErrNotFound) }
+func isNotStored(err error) bool { return errors.Is(err, memcached.ErrNotStored) }
+func isExists(err error) bool    { return errors.Is(err, memcached.ErrExists) }
+
+// expiryToAbs converts a protocol expiry (seconds, or absolute unix time if
+// > 30 days, per memcached convention) to an absolute ns timestamp.
+func (s *Server) expiryToAbs(expiry uint32) int64 {
+	if expiry == 0 {
+		return 0
+	}
+	const thirtyDays = 60 * 60 * 24 * 30
+	if expiry > thirtyDays {
+		return int64(expiry) * int64(time.Second)
+	}
+	return s.now() + int64(expiry)*int64(time.Second)
+}
+
+func statusFor(err error) binproto.Status {
+	switch {
+	case err == nil:
+		return binproto.StatusOK
+	case errors.Is(err, memcached.ErrNotFound):
+		return binproto.StatusKeyNotFound
+	case errors.Is(err, memcached.ErrExists):
+		return binproto.StatusKeyExists
+	case errors.Is(err, memcached.ErrTooLarge):
+		return binproto.StatusValueTooLarge
+	case errors.Is(err, memcached.ErrNotStored):
+		return binproto.StatusItemNotStored
+	case errors.Is(err, memcached.ErrBadDelta):
+		return binproto.StatusNonNumeric
+	case errors.Is(err, memcached.ErrNoMemory):
+		return binproto.StatusOutOfMemory
+	default:
+		return binproto.StatusInvalidArgs
+	}
+}
+
+func respond(w io.Writer, req *binproto.Frame, status binproto.Status, f binproto.Frame) bool {
+	f.Magic = binproto.MagicResponse
+	f.Op = req.Op
+	f.Status = status
+	f.Opaque = req.Opaque
+	if status != binproto.StatusOK {
+		f.Extras, f.Key, f.Value = nil, nil, []byte(status.String())
+		f.CAS = 0
+	}
+	_ = binproto.Write(w, &f)
+	return false
+}
+
+// dispatch executes one request and writes the response; it reports whether
+// the connection should close (QUIT).
+func (s *Server) dispatch(w io.Writer, req *binproto.Frame) (quit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.engine
+	switch req.Op {
+	case binproto.OpGet:
+		it, err := e.Get(string(req.Key))
+		if err != nil {
+			return respond(w, req, statusFor(err), binproto.Frame{})
+		}
+		return respond(w, req, binproto.StatusOK, binproto.Frame{
+			Extras: binproto.GetExtras(it.Flags), Value: it.Value, CAS: it.CAS,
+		})
+
+	case binproto.OpSet, binproto.OpAdd, binproto.OpReplace:
+		flags, expiry, err := binproto.ParseSetExtras(req.Extras)
+		if err != nil {
+			return respond(w, req, binproto.StatusInvalidArgs, binproto.Frame{})
+		}
+		it := memcached.Item{
+			Key:      string(req.Key),
+			Value:    append([]byte(nil), req.Value...),
+			Flags:    flags,
+			ExpireAt: s.expiryToAbs(expiry),
+		}
+		var cas uint64
+		switch {
+		case req.Op == binproto.OpSet && req.CAS != 0:
+			cas, err = e.CompareAndSwap(it, req.CAS)
+		case req.Op == binproto.OpSet:
+			cas, err = e.Set(it)
+		case req.Op == binproto.OpAdd:
+			cas, err = e.Add(it)
+		default:
+			cas, err = e.Replace(it)
+		}
+		if err != nil {
+			return respond(w, req, statusFor(err), binproto.Frame{})
+		}
+		return respond(w, req, binproto.StatusOK, binproto.Frame{CAS: cas})
+
+	case binproto.OpDelete:
+		err := e.Delete(string(req.Key))
+		return respond(w, req, statusFor(err), binproto.Frame{})
+
+	case binproto.OpIncrement, binproto.OpDecrement:
+		delta, initial, expiry, err := binproto.ParseCounterExtras(req.Extras)
+		if err != nil {
+			return respond(w, req, binproto.StatusInvalidArgs, binproto.Frame{})
+		}
+		var init *uint64
+		if expiry != 0xffffffff {
+			init = &initial
+		}
+		d := int64(delta)
+		if req.Op == binproto.OpDecrement {
+			d = -d
+		}
+		v, err := e.IncrDecr(string(req.Key), d, init, s.expiryToAbs(expiry))
+		if err != nil {
+			return respond(w, req, statusFor(err), binproto.Frame{})
+		}
+		return respond(w, req, binproto.StatusOK, binproto.Frame{Value: binproto.CounterValue(v)})
+
+	case binproto.OpTouch:
+		expiry, err := binproto.ParseTouchExtras(req.Extras)
+		if err != nil {
+			return respond(w, req, binproto.StatusInvalidArgs, binproto.Frame{})
+		}
+		err = e.Touch(string(req.Key), s.expiryToAbs(expiry))
+		return respond(w, req, statusFor(err), binproto.Frame{})
+
+	case binproto.OpFlush:
+		e.Flush()
+		return respond(w, req, binproto.StatusOK, binproto.Frame{})
+
+	case binproto.OpNoop:
+		return respond(w, req, binproto.StatusOK, binproto.Frame{})
+
+	case binproto.OpVersion:
+		return respond(w, req, binproto.StatusOK, binproto.Frame{Value: []byte(Version)})
+
+	case binproto.OpStat:
+		// Emit one frame per statistic, then a terminating empty frame.
+		for _, kv := range statPairs(e.Stats()) {
+			_ = binproto.Write(w, &binproto.Frame{
+				Magic: binproto.MagicResponse, Op: req.Op, Opaque: req.Opaque,
+				Key: []byte(kv.k), Value: []byte(fmt.Sprint(kv.v)),
+			})
+		}
+		return respond(w, req, binproto.StatusOK, binproto.Frame{})
+
+	case binproto.OpQuit:
+		respond(w, req, binproto.StatusOK, binproto.Frame{})
+		return true
+
+	default:
+		return respond(w, req, binproto.StatusUnknownCommand, binproto.Frame{})
+	}
+}

@@ -1,0 +1,286 @@
+package mcserver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"hbb/internal/memcached"
+)
+
+// The classic memcached ASCII protocol, served on the same port as the
+// binary protocol (handleConn dispatches on the first byte, as real
+// memcached does). Implemented verbs: get, gets, set, add, replace, cas,
+// delete, incr, decr, touch, flush_all, version, stats, quit, with
+// noreply support on mutating commands.
+
+// maxTextValue caps a text-protocol value to guard against absurd length
+// fields.
+const maxTextValue = 64 << 20
+
+// serveText runs the ASCII protocol loop on an established connection.
+func (s *Server) serveText(r *bufio.Reader, w *bufio.Writer) {
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		quit, err := s.dispatchText(r, w, fields)
+		if err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil || quit {
+			return
+		}
+	}
+}
+
+// readLine reads one \r\n-terminated line (tolerating bare \n).
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+func reply(w io.Writer, noreply bool, format string, args ...any) {
+	if noreply {
+		return
+	}
+	fmt.Fprintf(w, format+"\r\n", args...)
+}
+
+func clientError(w io.Writer, noreply bool, msg string) {
+	reply(w, noreply, "CLIENT_ERROR %s", msg)
+}
+
+// dispatchText executes one ASCII command. It returns quit=true for the
+// quit verb and a non-nil error for protocol-level failures that should
+// drop the connection.
+func (s *Server) dispatchText(r *bufio.Reader, w *bufio.Writer, fields []string) (quit bool, err error) {
+	cmd := fields[0]
+	args := fields[1:]
+	switch cmd {
+	case "get", "gets":
+		if len(args) == 0 {
+			reply(w, false, "ERROR")
+			return false, nil
+		}
+		withCAS := cmd == "gets"
+		s.mu.Lock()
+		for _, key := range args {
+			it, err := s.engine.Get(key)
+			if err != nil {
+				continue
+			}
+			if withCAS {
+				fmt.Fprintf(w, "VALUE %s %d %d %d\r\n", it.Key, it.Flags, len(it.Value), it.CAS)
+			} else {
+				fmt.Fprintf(w, "VALUE %s %d %d\r\n", it.Key, it.Flags, len(it.Value))
+			}
+			w.Write(it.Value)
+			w.WriteString("\r\n")
+		}
+		s.mu.Unlock()
+		w.WriteString("END\r\n")
+		return false, nil
+
+	case "set", "add", "replace", "cas":
+		return false, s.textStore(r, w, cmd, args)
+
+	case "delete":
+		if len(args) == 0 {
+			reply(w, false, "ERROR")
+			return false, nil
+		}
+		noreply := lastIsNoreply(&args)
+		s.mu.Lock()
+		err := s.engine.Delete(args[0])
+		s.mu.Unlock()
+		if err != nil {
+			reply(w, noreply, "NOT_FOUND")
+		} else {
+			reply(w, noreply, "DELETED")
+		}
+		return false, nil
+
+	case "incr", "decr":
+		if len(args) < 2 {
+			reply(w, false, "ERROR")
+			return false, nil
+		}
+		noreply := lastIsNoreply(&args)
+		delta, perr := strconv.ParseUint(args[1], 10, 63)
+		if perr != nil {
+			clientError(w, noreply, "invalid numeric delta argument")
+			return false, nil
+		}
+		d := int64(delta)
+		if cmd == "decr" {
+			d = -d
+		}
+		s.mu.Lock()
+		v, err := s.engine.IncrDecr(args[0], d, nil, 0)
+		s.mu.Unlock()
+		switch {
+		case err == nil:
+			reply(w, noreply, "%d", v)
+		case isNotFound(err):
+			reply(w, noreply, "NOT_FOUND")
+		default:
+			clientError(w, noreply, "cannot increment or decrement non-numeric value")
+		}
+		return false, nil
+
+	case "touch":
+		if len(args) < 2 {
+			reply(w, false, "ERROR")
+			return false, nil
+		}
+		noreply := lastIsNoreply(&args)
+		exp, perr := strconv.ParseUint(args[1], 10, 32)
+		if perr != nil {
+			clientError(w, noreply, "invalid exptime argument")
+			return false, nil
+		}
+		s.mu.Lock()
+		err := s.engine.Touch(args[0], s.expiryToAbs(uint32(exp)))
+		s.mu.Unlock()
+		if err != nil {
+			reply(w, noreply, "NOT_FOUND")
+		} else {
+			reply(w, noreply, "TOUCHED")
+		}
+		return false, nil
+
+	case "flush_all":
+		noreply := lastIsNoreply(&args)
+		s.mu.Lock()
+		s.engine.Flush()
+		s.mu.Unlock()
+		reply(w, noreply, "OK")
+		return false, nil
+
+	case "version":
+		fmt.Fprintf(w, "VERSION %s\r\n", Version)
+		return false, nil
+
+	case "stats":
+		s.mu.Lock()
+		st := s.engine.Stats()
+		s.mu.Unlock()
+		for _, kv := range statPairs(st) {
+			fmt.Fprintf(w, "STAT %s %d\r\n", kv.k, kv.v)
+		}
+		w.WriteString("END\r\n")
+		return false, nil
+
+	case "quit":
+		return true, nil
+
+	default:
+		reply(w, false, "ERROR")
+		return false, nil
+	}
+}
+
+// textStore handles set/add/replace/cas: parse the header line, read the
+// data block, and apply the engine operation.
+func (s *Server) textStore(r *bufio.Reader, w *bufio.Writer, cmd string, args []string) error {
+	want := 4
+	if cmd == "cas" {
+		want = 5
+	}
+	noreply := len(args) == want+1 && args[want] == "noreply"
+	if len(args) != want && !noreply {
+		reply(w, false, "ERROR")
+		return nil
+	}
+	flags, err1 := strconv.ParseUint(args[1], 10, 32)
+	exp, err2 := strconv.ParseUint(args[2], 10, 32)
+	nbytes, err3 := strconv.ParseInt(args[3], 10, 64)
+	var casID uint64
+	var err4 error
+	if cmd == "cas" {
+		casID, err4 = strconv.ParseUint(args[4], 10, 64)
+	}
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || nbytes < 0 || nbytes > maxTextValue {
+		clientError(w, false, "bad command line format")
+		return nil
+	}
+	// The data block follows regardless of header validity.
+	data := make([]byte, nbytes+2)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return err
+	}
+	if string(data[nbytes:]) != "\r\n" {
+		clientError(w, noreply, "bad data chunk")
+		return nil
+	}
+	it := memcached.Item{
+		Key:      args[0],
+		Value:    data[:nbytes],
+		Flags:    uint32(flags),
+		ExpireAt: s.expiryToAbs(uint32(exp)),
+	}
+	s.mu.Lock()
+	var serr error
+	switch cmd {
+	case "set":
+		_, serr = s.engine.Set(it)
+	case "add":
+		_, serr = s.engine.Add(it)
+	case "replace":
+		_, serr = s.engine.Replace(it)
+	case "cas":
+		_, serr = s.engine.CompareAndSwap(it, casID)
+	}
+	s.mu.Unlock()
+	switch {
+	case serr == nil:
+		reply(w, noreply, "STORED")
+	case isNotStored(serr):
+		reply(w, noreply, "NOT_STORED")
+	case isExists(serr):
+		reply(w, noreply, "EXISTS")
+	case isNotFound(serr):
+		reply(w, noreply, "NOT_FOUND")
+	default:
+		reply(w, noreply, "SERVER_ERROR %v", serr)
+	}
+	return nil
+}
+
+func lastIsNoreply(args *[]string) bool {
+	a := *args
+	if len(a) > 0 && a[len(a)-1] == "noreply" {
+		*args = a[:len(a)-1]
+		return true
+	}
+	return false
+}
+
+type statPair struct {
+	k string
+	v int64
+}
+
+func statPairs(st memcached.Stats) []statPair {
+	return []statPair{
+		{"cmd_get", st.CmdGet}, {"cmd_set", st.CmdSet},
+		{"get_hits", st.GetHits}, {"get_misses", st.GetMisses},
+		{"delete_hits", st.DeleteHits}, {"delete_misses", st.DeleteMisses},
+		{"cas_hits", st.CasHits}, {"cas_misses", st.CasMisses},
+		{"cas_badval", st.CasBadval},
+		{"curr_items", st.CurrItems}, {"total_items", st.TotalItems},
+		{"bytes", st.Bytes}, {"evictions", st.Evictions},
+		{"expired", st.Expired}, {"limit_maxbytes", st.LimitMaxMB << 20},
+	}
+}

@@ -1,0 +1,155 @@
+package memcached
+
+import "errors"
+
+// ErrNoMemory reports that the arena is full and the needed slab class has
+// nothing to evict.
+var ErrNoMemory = errors.New("memcached: out of memory storing object")
+
+// pageSize is the minimum slab page size; arenas whose MaxItemSize exceeds
+// it use MaxItemSize as the page size, mirroring memcached's -I behaviour.
+const pageSize = 1 << 20
+
+// slabClass tracks one chunk size: its free-chunk budget and the intrusive
+// LRU list of entries living in it.
+type slabClass struct {
+	chunkSize  int
+	perPage    int
+	freeChunks int
+	pages      int64
+	head, tail *entry // LRU: head = most recent
+	items      int64
+}
+
+// slabArena is the page allocator behind the slab classes.
+type slabArena struct {
+	classes        []*slabClass
+	page           int64
+	maxPages       int64
+	pagesAllocated int64
+}
+
+func newSlabArena(cfg Config) *slabArena {
+	a := &slabArena{}
+	a.page = pageSize
+	if int64(cfg.MaxItemSize) > a.page {
+		a.page = int64(cfg.MaxItemSize)
+	}
+	a.maxPages = cfg.MemLimit / a.page
+	if a.maxPages < 1 {
+		a.maxPages = 1
+	}
+	size := cfg.MinChunk
+	for {
+		if size > cfg.MaxItemSize {
+			size = cfg.MaxItemSize
+		}
+		a.classes = append(a.classes, &slabClass{
+			chunkSize: size,
+			perPage:   int(a.page) / size,
+		})
+		if size == cfg.MaxItemSize {
+			break
+		}
+		next := int(float64(size) * cfg.GrowthFactor)
+		if next <= size {
+			next = size + 1
+		}
+		// Align to 8 bytes like memcached.
+		next = (next + 7) &^ 7
+		size = next
+	}
+	return a
+}
+
+// classFor returns the index of the smallest class whose chunks fit foot,
+// or -1 if none does.
+func (a *slabArena) classFor(foot int) int {
+	lo, hi := 0, len(a.classes)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.classes[mid].chunkSize < foot {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(a.classes) {
+		return -1
+	}
+	return lo
+}
+
+// alloc places en (with the given footprint) into the right class, growing
+// the class by a page if the arena has room, otherwise evicting via the
+// callback until a chunk frees up.
+func (a *slabArena) alloc(en *entry, foot int, evict func(class int) bool) error {
+	ci := a.classFor(foot)
+	if ci < 0 {
+		return ErrTooLarge
+	}
+	c := a.classes[ci]
+	for c.freeChunks == 0 {
+		if a.pagesAllocated < a.maxPages {
+			a.pagesAllocated++
+			c.pages++
+			c.freeChunks += c.perPage
+			break
+		}
+		if !evict(ci) {
+			return ErrNoMemory
+		}
+	}
+	c.freeChunks--
+	c.items++
+	en.class = ci
+	a.pushHead(c, en)
+	return nil
+}
+
+// free returns en's chunk to its class and unlinks it from the LRU.
+func (a *slabArena) free(en *entry) {
+	c := a.classes[en.class]
+	a.unlink(c, en)
+	c.freeChunks++
+	c.items--
+}
+
+// touch marks en most-recently used.
+func (a *slabArena) touch(en *entry) {
+	c := a.classes[en.class]
+	a.unlink(c, en)
+	a.pushHead(c, en)
+}
+
+// tail returns the least-recently-used entry of a class, or nil.
+func (a *slabArena) tail(class int) *entry { return a.classes[class].tail }
+
+func (a *slabArena) pushHead(c *slabClass, en *entry) {
+	en.prev = nil
+	en.next = c.head
+	if c.head != nil {
+		c.head.prev = en
+	}
+	c.head = en
+	if c.tail == nil {
+		c.tail = en
+	}
+}
+
+func (a *slabArena) unlink(c *slabClass, en *entry) {
+	if en.prev != nil {
+		en.prev.next = en.next
+	} else {
+		c.head = en.next
+	}
+	if en.next != nil {
+		en.next.prev = en.prev
+	} else {
+		c.tail = en.prev
+	}
+	en.prev, en.next = nil, nil
+}
+
+// memUsed returns bytes of page memory allocated.
+func (a *slabArena) memUsed() int64 { return a.pagesAllocated * a.page }

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 11 {
+		t.Errorf("value = %d", c.Value())
+	}
+	if r.Counter("ops") != c {
+		t.Error("same name returned a different counter")
+	}
+}
+
+func TestRegistryNamesInCreationOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Histogram("a")
+	r.Counter("c")
+	names := r.Names()
+	if strings.Join(names, ",") != "b,a,c" {
+		t.Errorf("names = %v", names)
+	}
+	out := r.String()
+	for _, n := range names {
+		if !strings.Contains(out, n) {
+			t.Errorf("String() missing %q", n)
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram not zero-valued")
+	}
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Mean() != 3 || h.Min() != 1 || h.Max() != 5 {
+		t.Errorf("stats = n%d mean%v min%v max%v", h.Count(), h.Mean(), h.Min(), h.Max())
+	}
+	if q := h.Quantile(0.5); q != 3 {
+		t.Errorf("p50 = %v", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("p0 = %v", q)
+	}
+	if q := h.Quantile(1); q != 5 {
+		t.Errorf("p100 = %v", q)
+	}
+	// Interpolated quantile.
+	if q := h.Quantile(0.25); q != 2 {
+		t.Errorf("p25 = %v", q)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveDuration(1500 * time.Millisecond)
+	if h.Mean() != 1.5 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1)
+	s := h.String()
+	for _, part := range []string{"n=1", "mean=1", "p50=1"} {
+		if !strings.Contains(s, part) {
+			t.Errorf("String() = %q missing %q", s, part)
+		}
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestPropertyQuantilesMonotone(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram()
+		clean := 0
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Observe(v)
+			clean++
+		}
+		if clean == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			cur := h.Quantile(q)
+			if cur < prev || cur < h.Min() || cur > h.Max() {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("demo", "name", "value", "time")
+	tbl.AddRow("alpha", 3.14159, 1500*time.Millisecond)
+	tbl.AddRow("a-much-longer-name", 2.0, time.Second)
+	out := tbl.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Error("float not formatted to 2 places")
+	}
+	if !strings.Contains(out, "1.50s") {
+		t.Error("duration not formatted in seconds")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// Column alignment: every row at least as wide as the widest cell.
+	if len(lines[1]) < len("a-much-longer-name") {
+		t.Error("columns not widened to fit data")
+	}
+}
+
+func TestTableUntitled(t *testing.T) {
+	tbl := NewTable("", "x")
+	tbl.AddRow(1)
+	if strings.Contains(tbl.String(), "==") {
+		t.Error("untitled table rendered a title")
+	}
+}

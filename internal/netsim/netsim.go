@@ -1,0 +1,355 @@
+// Package netsim models a cluster interconnect: per-node NICs with egress
+// and ingress bandwidth, a non-blocking switch fabric, per-message latency,
+// and transport profiles for RDMA verbs, IPoIB, and Ethernet. It provides
+// raw transfers, request/response RPC, one-way casts, and one-sided
+// RDMA-style reads and writes, all on the sim kernel's virtual clock.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hbb/internal/sim"
+)
+
+// NodeID identifies a node on the fabric.
+type NodeID int
+
+// Profile describes a transport's characteristics.
+type Profile struct {
+	Name string
+	// Latency is the one-way propagation plus per-message software latency.
+	Latency time.Duration
+	// Bandwidth is per-NIC in bytes/sec (full-duplex: egress and ingress
+	// each get this much; the switch core is non-blocking).
+	Bandwidth float64
+	// OneSided is true for transports with RDMA read/write semantics; a
+	// one-sided op does not involve the remote CPU and skips the remote
+	// software latency.
+	OneSided bool
+	// SWOverhead is the per-message software/CPU cost on each involved
+	// host (copies, socket processing). RDMA verbs make this ~0.
+	SWOverhead time.Duration
+}
+
+// Standard transport profiles, calibrated to the paper's era: FDR
+// InfiniBand with native verbs, IPoIB on the same fabric, and 10/1 GbE.
+var (
+	RDMA = Profile{Name: "rdma-fdr", Latency: 2 * time.Microsecond,
+		Bandwidth: 6e9, OneSided: true, SWOverhead: 300 * time.Nanosecond}
+	IPoIB = Profile{Name: "ipoib-fdr", Latency: 20 * time.Microsecond,
+		Bandwidth: 3e9, OneSided: false, SWOverhead: 8 * time.Microsecond}
+	TenGigE = Profile{Name: "10gige", Latency: 50 * time.Microsecond,
+		Bandwidth: 1.25e9, OneSided: false, SWOverhead: 15 * time.Microsecond}
+	GigE = Profile{Name: "1gige", Latency: 80 * time.Microsecond,
+		Bandwidth: 125e6, OneSided: false, SWOverhead: 20 * time.Microsecond}
+)
+
+// ErrNodeDown reports a message sent to or from a failed node.
+var ErrNodeDown = errors.New("netsim: node down")
+
+// ErrNoService reports an RPC to an unregistered service.
+var ErrNoService = errors.New("netsim: no such service")
+
+// Msg is a request or one-way message. Size is the wire size in bytes;
+// Payload carries simulation-level metadata and costs nothing on the wire.
+type Msg struct {
+	From    NodeID
+	To      NodeID
+	Service string
+	Op      string
+	Size    int64
+	Payload any
+	// Legacy routes the message over the socket transport (when one is
+	// configured) instead of native verbs.
+	Legacy bool
+}
+
+// Reply is an RPC response.
+type Reply struct {
+	Size    int64
+	Payload any
+	Err     error
+}
+
+// Handler serves an RPC or cast. It runs on the simulated destination node;
+// for Call it executes within the caller's process (time it spends is part
+// of the call), for Cast it runs in a fresh process.
+type Handler func(p *sim.Proc, m *Msg) Reply
+
+type iface struct {
+	egress  *sim.Pipe
+	ingress *sim.Pipe
+	// legacy pipes model a socket-based transport (IPoIB/TCP) sharing the
+	// physical port but with its own lower software-limited bandwidth.
+	legEgress  *sim.Pipe
+	legIngress *sim.Pipe
+	down       bool
+	sent       int64
+	recv       int64
+}
+
+// Network is the fabric.
+type Network struct {
+	env      *sim.Env
+	prof     Profile
+	legacy   *Profile
+	ifaces   []*iface
+	services map[NodeID]map[string]Handler
+}
+
+// New returns a fabric with n nodes using the given transport profile.
+func New(env *sim.Env, prof Profile, n int) *Network {
+	nw := &Network{env: env, prof: prof, services: make(map[NodeID]map[string]Handler)}
+	for i := 0; i < n; i++ {
+		nw.AddNode()
+	}
+	return nw
+}
+
+// Env returns the owning environment.
+func (nw *Network) Env() *sim.Env { return nw.env }
+
+// Profile returns the transport profile.
+func (nw *Network) Profile() Profile { return nw.prof }
+
+// Nodes returns the number of nodes on the fabric.
+func (nw *Network) Nodes() int { return len(nw.ifaces) }
+
+// AddNode attaches a new node and returns its ID.
+func (nw *Network) AddNode() NodeID {
+	id := NodeID(len(nw.ifaces))
+	f := &iface{
+		egress:  sim.NewPipe(fmt.Sprintf("node%d.egress", id), nw.prof.Bandwidth),
+		ingress: sim.NewPipe(fmt.Sprintf("node%d.ingress", id), nw.prof.Bandwidth),
+	}
+	if nw.legacy != nil {
+		f.legEgress = sim.NewPipe(fmt.Sprintf("node%d.leg-egress", id), nw.legacy.Bandwidth)
+		f.legIngress = sim.NewPipe(fmt.Sprintf("node%d.leg-ingress", id), nw.legacy.Bandwidth)
+	}
+	nw.ifaces = append(nw.ifaces, f)
+	return id
+}
+
+// SetLegacy installs a secondary socket-based transport (e.g. IPoIB for
+// stock Hadoop while the burst buffer uses native verbs). It must be
+// called before any node is added.
+func (nw *Network) SetLegacy(prof Profile) {
+	if len(nw.ifaces) != 0 {
+		panic("netsim: SetLegacy after nodes were added")
+	}
+	nw.legacy = &prof
+}
+
+// HasLegacy reports whether a legacy transport is configured.
+func (nw *Network) HasLegacy() bool { return nw.legacy != nil }
+
+func (nw *Network) checkNode(id NodeID) *iface {
+	if int(id) < 0 || int(id) >= len(nw.ifaces) {
+		panic(fmt.Sprintf("netsim: unknown node %d", id))
+	}
+	return nw.ifaces[id]
+}
+
+// SetDown marks a node failed (true) or recovered (false). Messages to or
+// from a failed node error with ErrNodeDown.
+func (nw *Network) SetDown(id NodeID, down bool) { nw.checkNode(id).down = down }
+
+// Down reports whether a node is failed.
+func (nw *Network) Down(id NodeID) bool { return nw.checkNode(id).down }
+
+// Traffic returns cumulative sent/received bytes for a node.
+func (nw *Network) Traffic(id NodeID) (sent, recv int64) {
+	f := nw.checkNode(id)
+	return f.sent, f.recv
+}
+
+// chooseTransport resolves the profile and pipe set for a message. Legacy
+// selection silently falls back to the native transport when no legacy
+// profile is configured.
+func (nw *Network) chooseTransport(legacy bool) Profile {
+	if legacy && nw.legacy != nil {
+		return *nw.legacy
+	}
+	return nw.prof
+}
+
+func (f *iface) pipes(legacy bool) (eg, in *sim.Pipe) {
+	if legacy && f.legEgress != nil {
+		return f.legEgress, f.legIngress
+	}
+	return f.egress, f.ingress
+}
+
+// transfer moves n bytes from src to dst, pipelined chunk-by-chunk through
+// the source egress pipe and the destination ingress pipe so that a single
+// flow achieves full NIC bandwidth while concurrent flows share each pipe
+// fairly. It blocks until the last byte is received.
+func (nw *Network) transfer(p *sim.Proc, src, dst NodeID, n int64) {
+	nw.transferVia(p, src, dst, n, false)
+}
+
+func (nw *Network) transferVia(p *sim.Proc, src, dst NodeID, n int64, legacy bool) {
+	if src == dst || n <= 0 {
+		return
+	}
+	prof := nw.chooseTransport(legacy)
+	e, _ := nw.ifaces[src].pipes(legacy && nw.legacy != nil)
+	_, in := nw.ifaces[dst].pipes(legacy && nw.legacy != nil)
+	nw.ifaces[src].sent += n
+	nw.ifaces[dst].recv += n
+	chunk := e.Chunk()
+	lat := int64(prof.Latency)
+	var lastIngressEnd int64
+	for n > 0 {
+		c := n
+		if c > chunk {
+			c = chunk
+		}
+		endE := e.Reserve(int64(p.Now()), c)
+		// The chunk reaches the far NIC one propagation delay after it
+		// leaves; ingress service cannot start before that.
+		endI := in.Reserve(endE+lat, c)
+		if endI > lastIngressEnd {
+			lastIngressEnd = endI
+		}
+		// Pace the sender by its egress pipe so other local flows can
+		// interleave; the receive tail is awaited after the loop.
+		p.Sleep(time.Duration(endE - int64(p.Now())))
+		n -= c
+	}
+	if tail := lastIngressEnd - int64(p.Now()); tail > 0 {
+		p.Sleep(time.Duration(tail))
+	}
+}
+
+func (nw *Network) checkLink(src, dst NodeID) error {
+	if nw.checkNode(src).down {
+		return fmt.Errorf("%w: source node %d", ErrNodeDown, src)
+	}
+	if nw.checkNode(dst).down {
+		return fmt.Errorf("%w: destination node %d", ErrNodeDown, dst)
+	}
+	return nil
+}
+
+// Send moves n bytes from src to dst with no service dispatch, blocking
+// until delivery. It is the building block for bulk data paths.
+func (nw *Network) Send(p *sim.Proc, src, dst NodeID, n int64) error {
+	return nw.sendVia(p, src, dst, n, false)
+}
+
+// SendLegacy is Send over the legacy (socket) transport when one is
+// configured, modelling stock-Hadoop traffic; otherwise it behaves like
+// Send. Use it for HDFS pipelines and MapReduce shuffles.
+func (nw *Network) SendLegacy(p *sim.Proc, src, dst NodeID, n int64) error {
+	return nw.sendVia(p, src, dst, n, true)
+}
+
+func (nw *Network) sendVia(p *sim.Proc, src, dst NodeID, n int64, legacy bool) error {
+	if err := nw.checkLink(src, dst); err != nil {
+		return err
+	}
+	prof := nw.chooseTransport(legacy)
+	p.Sleep(prof.SWOverhead)
+	nw.transferVia(p, src, dst, n, legacy)
+	if src != dst {
+		p.Sleep(prof.SWOverhead) // receive-side processing
+	}
+	return nil
+}
+
+// RDMARead performs a one-sided read of n bytes from remote into the
+// caller: one request latency, then the payload flows remote→local without
+// remote CPU involvement. On non-one-sided transports it degenerates to a
+// request/response pair with software overhead on both sides.
+func (nw *Network) RDMARead(p *sim.Proc, local, remote NodeID, n int64) error {
+	if err := nw.checkLink(local, remote); err != nil {
+		return err
+	}
+	if nw.prof.OneSided {
+		p.Sleep(nw.prof.SWOverhead + nw.prof.Latency) // request descriptor
+		nw.transfer(p, remote, local, n)
+		return nil
+	}
+	p.Sleep(nw.prof.SWOverhead + nw.prof.Latency + nw.prof.SWOverhead)
+	nw.transfer(p, remote, local, n)
+	p.Sleep(nw.prof.SWOverhead)
+	return nil
+}
+
+// RDMAWrite performs a one-sided write of n bytes from the caller into
+// remote memory.
+func (nw *Network) RDMAWrite(p *sim.Proc, local, remote NodeID, n int64) error {
+	if err := nw.checkLink(local, remote); err != nil {
+		return err
+	}
+	p.Sleep(nw.prof.SWOverhead)
+	nw.transfer(p, local, remote, n)
+	if !nw.prof.OneSided {
+		p.Sleep(nw.prof.SWOverhead)
+	}
+	return nil
+}
+
+// Register installs a service handler on a node. Registering the same
+// service twice replaces the handler.
+func (nw *Network) Register(node NodeID, service string, h Handler) {
+	nw.checkNode(node)
+	m := nw.services[node]
+	if m == nil {
+		m = make(map[string]Handler)
+		nw.services[node] = m
+	}
+	m[service] = h
+}
+
+// Call performs a request/response RPC: the request travels src→dst, the
+// handler runs, the reply travels back. The handler's virtual time is part
+// of the call. Calls to self skip the fabric but still run the handler.
+func (nw *Network) Call(p *sim.Proc, m *Msg) Reply {
+	if err := nw.checkLink(m.From, m.To); err != nil {
+		return Reply{Err: err}
+	}
+	h := nw.services[m.To][m.Service]
+	if h == nil {
+		return Reply{Err: fmt.Errorf("%w: %q on node %d", ErrNoService, m.Service, m.To)}
+	}
+	prof := nw.chooseTransport(m.Legacy)
+	if m.From != m.To {
+		p.Sleep(prof.SWOverhead + prof.Latency + prof.SWOverhead)
+		nw.transferVia(p, m.From, m.To, m.Size, m.Legacy)
+	}
+	rep := h(p, m)
+	if m.From != m.To {
+		// The destination may have failed while the handler "ran".
+		if nw.ifaces[m.To].down {
+			return Reply{Err: fmt.Errorf("%w: destination node %d", ErrNodeDown, m.To)}
+		}
+		p.Sleep(prof.SWOverhead + prof.Latency + prof.SWOverhead)
+		nw.transferVia(p, m.To, m.From, rep.Size, m.Legacy)
+	}
+	return rep
+}
+
+// Cast delivers a one-way message and runs the handler in a fresh process
+// on the destination; the caller blocks only for the send.
+func (nw *Network) Cast(p *sim.Proc, m *Msg) error {
+	if err := nw.checkLink(m.From, m.To); err != nil {
+		return err
+	}
+	h := nw.services[m.To][m.Service]
+	if h == nil {
+		return fmt.Errorf("%w: %q on node %d", ErrNoService, m.Service, m.To)
+	}
+	if m.From != m.To {
+		prof := nw.chooseTransport(m.Legacy)
+		p.Sleep(prof.SWOverhead + prof.Latency)
+		nw.transferVia(p, m.From, m.To, m.Size, m.Legacy)
+	}
+	nw.env.Spawn(fmt.Sprintf("cast:%s.%s@%d", m.Service, m.Op, m.To), func(q *sim.Proc) {
+		h(q, m)
+	})
+	return nil
+}

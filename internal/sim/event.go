@@ -1,0 +1,115 @@
+package sim
+
+import "time"
+
+// Event is a one-shot broadcast signal. Any number of processes may Wait on
+// it; Trigger wakes all current waiters in FIFO order and makes every later
+// Wait return immediately. The zero value is ready to use.
+type Event struct {
+	triggered bool
+	waiters   []*waiter
+	// Value carries an optional payload set by the triggering party.
+	Value any
+}
+
+type waiter struct {
+	p *Proc
+	// fired guards against double-resume when a wait carries a timeout:
+	// whichever of {event, timeout} fires first flips it, and the loser's
+	// scheduled wake is cancelled or ignored.
+	fired bool
+}
+
+// Triggered reports whether the event has fired.
+func (ev *Event) Triggered() bool { return ev.triggered }
+
+// Trigger fires the event, waking all waiters. Triggering an already
+// triggered event is a no-op.
+func (ev *Event) Trigger() {
+	if ev.triggered {
+		return
+	}
+	ev.triggered = true
+	for _, w := range ev.waiters {
+		if w.fired {
+			continue
+		}
+		w.fired = true
+		w.p.unblock(wakeEvent)
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks the process until the event fires. Returns immediately if it
+// already has.
+func (ev *Event) Wait(p *Proc) {
+	if ev.triggered {
+		return
+	}
+	ev.waiters = append(ev.waiters, &waiter{p: p})
+	p.block()
+}
+
+// WaitTimeout blocks the process until the event fires or d elapses,
+// whichever comes first. It reports whether the event fired (true) or the
+// wait timed out (false).
+func (ev *Event) WaitTimeout(p *Proc, d time.Duration) bool {
+	if ev.triggered {
+		return true
+	}
+	// Scrub waiters whose timeout already fired so repeated timed waits on
+	// a long-lived event do not accumulate garbage.
+	live := ev.waiters[:0]
+	for _, old := range ev.waiters {
+		if !old.fired {
+			live = append(live, old)
+		}
+	}
+	ev.waiters = live
+	w := &waiter{p: p}
+	ev.waiters = append(ev.waiters, w)
+	cancelled := false
+	tev := p.env.scheduleAt(p.env.now+int64(d), p, wakeTimeout)
+	tev.cancelled = &cancelled
+	reason := p.block()
+	if reason == wakeEvent {
+		cancelled = true // discard the pending timeout wake
+		return true
+	}
+	// Timed out: mark the waiter dead so a later Trigger skips it.
+	w.fired = true
+	return false
+}
+
+// WaitGroup counts outstanding work items on the virtual clock, analogous
+// to sync.WaitGroup. The zero value is ready to use.
+type WaitGroup struct {
+	n    int
+	done Event
+}
+
+// Add adds delta to the counter. When the counter reaches zero all waiters
+// are released; adding after that starts a new cycle.
+func (wg *WaitGroup) Add(delta int) {
+	if wg.n == 0 && delta > 0 && wg.done.triggered {
+		wg.done = Event{}
+	}
+	wg.n += delta
+	if wg.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.n == 0 {
+		wg.done.Trigger()
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks the process until the counter is zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.n == 0 {
+		return
+	}
+	wg.done.Wait(p)
+}

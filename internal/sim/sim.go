@@ -1,0 +1,224 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel drives an arbitrary number of cooperating processes over a
+// virtual clock. Exactly one process runs at any instant: the scheduler pops
+// the earliest pending event, advances the clock, and resumes the process
+// that owns the event; the process runs until it yields (by sleeping or
+// blocking on a synchronization primitive), at which point control returns
+// to the scheduler. Events with equal timestamps fire in FIFO order, so a
+// simulation is bit-reproducible for a given seed regardless of GOMAXPROCS.
+//
+// Processes are ordinary goroutines, but the handshake with the scheduler
+// guarantees that no two of them ever execute simultaneously, so process
+// code needs no locking to touch shared simulation state.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Env is a simulation environment: a virtual clock plus the event queue and
+// the set of live processes. Create one with New, start processes with
+// Spawn, and drive everything with Run.
+type Env struct {
+	now     int64 // virtual time in nanoseconds
+	seq     uint64
+	events  eventHeap
+	yieldCh chan struct{} // process -> scheduler handshake
+	rng     *rand.Rand
+	procs   map[*Proc]struct{}
+	nextID  int
+	failure any // value from a panicking process, re-raised by Run
+	running bool
+}
+
+// New returns an empty environment whose clock starts at zero. The seed
+// fixes the environment's random stream; equal seeds give identical runs.
+func New(seed int64) *Env {
+	return &Env{
+		yieldCh: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
+		procs:   make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time as a duration since the start of the
+// simulation.
+func (e *Env) Now() time.Duration { return time.Duration(e.now) }
+
+// Rand returns the environment's deterministic random stream.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Proc is a simulation process. A Proc value is only valid inside the
+// function passed to Spawn (and functions it calls); it is the handle
+// through which the process sleeps and blocks.
+type Proc struct {
+	env    *Env
+	id     int
+	name   string
+	resume chan wakeReason
+	done   bool
+	// blocked marks a process that yielded without a scheduled wake; a
+	// synchronization primitive is responsible for waking it.
+	blocked bool
+}
+
+type wakeReason int
+
+const (
+	wakeEvent wakeReason = iota
+	wakeTimeout
+)
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment that owns the process.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now is shorthand for p.Env().Now().
+func (p *Proc) Now() time.Duration { return p.env.Now() }
+
+type event struct {
+	t      int64
+	seq    uint64
+	p      *Proc
+	reason wakeReason
+	// cancelled events stay in the heap but are skipped on pop.
+	cancelled *bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); ev := old[n-1]; *h = old[:n-1]; return ev }
+func (e *Env) schedule(ev *event) { ev.seq = e.seq; e.seq++; heap.Push(&e.events, ev) }
+func (e *Env) scheduleAt(t int64, p *Proc, r wakeReason) *event {
+	ev := &event{t: t, p: p, reason: r}
+	e.schedule(ev)
+	return ev
+}
+
+// Spawn starts a new process executing fn. It may be called before Run or
+// from inside a running process; in both cases the new process begins at
+// the current virtual time, after already-scheduled same-time events.
+func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
+	e.nextID++
+	p := &Proc{env: e, id: e.nextID, name: name, resume: make(chan wakeReason)}
+	e.procs[p] = struct{}{}
+	go func() {
+		reason := <-p.resume
+		_ = reason
+		defer func() {
+			if r := recover(); r != nil {
+				e.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+			}
+			p.done = true
+			delete(e.procs, p)
+			e.yieldCh <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.scheduleAt(e.now, p, wakeEvent)
+	return p
+}
+
+// Run executes the simulation until no events remain, then returns the
+// final virtual time. If any process panicked, Run panics with that value.
+// Processes still blocked on primitives when the event queue drains are
+// left blocked; Deadlocked reports them.
+func (e *Env) Run() time.Duration {
+	return e.RunUntil(-1)
+}
+
+// RunUntil executes the simulation until no events remain or the clock
+// would pass limit (limit < 0 means no limit). Events at exactly limit
+// still fire.
+func (e *Env) RunUntil(limit time.Duration) time.Duration {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.cancelled != nil && *ev.cancelled {
+			continue
+		}
+		if limit >= 0 && ev.t > int64(limit) {
+			// Put it back for a later RunUntil call, keeping its original
+			// sequence number so FIFO order is preserved across calls.
+			heap.Push(&e.events, ev)
+			e.now = int64(limit)
+			break
+		}
+		if ev.t > e.now {
+			e.now = ev.t
+		}
+		p := ev.p
+		if p.done {
+			continue
+		}
+		p.blocked = false
+		p.resume <- ev.reason
+		<-e.yieldCh
+		if e.failure != nil {
+			panic(e.failure)
+		}
+	}
+	return e.Now()
+}
+
+// Deadlocked returns the names of processes that are blocked on a
+// synchronization primitive with no pending event that could wake them.
+// Useful in tests to assert clean termination.
+func (e *Env) Deadlocked() []string {
+	var names []string
+	for p := range e.procs {
+		if p.blocked {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// yield hands control back to the scheduler and blocks until the process
+// is resumed, returning the reason for the wake-up.
+func (p *Proc) yield() wakeReason {
+	p.env.yieldCh <- struct{}{}
+	return <-p.resume
+}
+
+// block yields without a scheduled wake; some primitive must call unblock.
+func (p *Proc) block() wakeReason {
+	p.blocked = true
+	return p.yield()
+}
+
+// unblock schedules p to resume at the current virtual time.
+func (p *Proc) unblock(r wakeReason) {
+	p.env.scheduleAt(p.env.now, p, r)
+}
+
+// Sleep suspends the process for d of virtual time. Negative durations are
+// treated as zero (the process re-queues behind same-time events).
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.scheduleAt(p.env.now+int64(d), p, wakeEvent)
+	p.yield()
+}

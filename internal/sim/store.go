@@ -1,0 +1,138 @@
+package sim
+
+// Store is a FIFO queue of items with blocking Get, the channel analogue
+// for simulation processes. Multiple getters are served in FIFO order. A
+// bounded store (NewBounded) additionally blocks PutWait when full,
+// providing backpressure for pipelines.
+type Store[T any] struct {
+	items    []T
+	getters  []*storeGetter[T]
+	putters  []*storePutter[T]
+	capacity int // 0 = unbounded
+	closed   bool
+}
+
+type storePutter[T any] struct {
+	p *Proc
+	v T
+}
+
+type storeGetter[T any] struct {
+	p  *Proc
+	v  T
+	ok bool
+	// delivered marks whether a value (or close) was handed over.
+	delivered bool
+}
+
+// NewStore returns an empty unbounded store.
+func NewStore[T any]() *Store[T] { return &Store[T]{} }
+
+// NewBounded returns an empty store holding at most capacity queued items;
+// PutWait blocks while it is full.
+func NewBounded[T any](capacity int) *Store[T] {
+	if capacity <= 0 {
+		panic("sim: bounded store capacity must be positive")
+	}
+	return &Store[T]{capacity: capacity}
+}
+
+// Len returns the number of queued items.
+func (s *Store[T]) Len() int { return len(s.items) }
+
+// Put appends an item, waking the oldest blocked getter if any. Put on a
+// closed store panics, and Put on a full bounded store panics (use PutWait
+// for blocking semantics).
+func (s *Store[T]) Put(v T) {
+	if s.closed {
+		panic("sim: Put on closed Store")
+	}
+	if len(s.getters) > 0 {
+		g := s.getters[0]
+		s.getters = s.getters[1:]
+		g.v, g.ok, g.delivered = v, true, true
+		g.p.unblock(wakeEvent)
+		return
+	}
+	if s.capacity > 0 && len(s.items) >= s.capacity {
+		panic("sim: Put on full bounded Store")
+	}
+	s.items = append(s.items, v)
+}
+
+// PutWait appends an item, blocking the process while a bounded store is
+// full. On an unbounded store it behaves like Put. It reports whether the
+// item was delivered: a closed store (the consumer abandoned the stream)
+// drops the item and returns false, letting producers stop cleanly.
+func (s *Store[T]) PutWait(p *Proc, v T) bool {
+	if s.closed {
+		return false
+	}
+	if s.capacity > 0 && len(s.getters) == 0 && len(s.items) >= s.capacity {
+		pu := &storePutter[T]{p: p, v: v}
+		s.putters = append(s.putters, pu)
+		p.block()
+		return !s.closed
+	}
+	s.Put(v)
+	return true
+}
+
+// Close marks the store closed: queued items can still be drained, then
+// every Get returns ok=false. Blocked getters are released immediately.
+func (s *Store[T]) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, g := range s.getters {
+		g.delivered = true
+		g.p.unblock(wakeEvent)
+	}
+	s.getters = nil
+	// Blocked putters are released; their items are dropped.
+	for _, pu := range s.putters {
+		pu.p.unblock(wakeEvent)
+	}
+	s.putters = nil
+}
+
+// Get removes and returns the oldest item, blocking the process until one
+// is available. ok is false if and only if the store is closed and empty.
+func (s *Store[T]) Get(p *Proc) (v T, ok bool) {
+	if len(s.items) > 0 {
+		v = s.items[0]
+		s.items = s.items[1:]
+		// Admit the oldest blocked putter into the freed slot.
+		if len(s.putters) > 0 {
+			pu := s.putters[0]
+			s.putters = s.putters[1:]
+			s.items = append(s.items, pu.v)
+			pu.p.unblock(wakeEvent)
+		}
+		return v, true
+	}
+	if s.closed {
+		return v, false
+	}
+	g := &storeGetter[T]{p: p}
+	s.getters = append(s.getters, g)
+	p.block()
+	return g.v, g.ok
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (s *Store[T]) TryGet() (v T, ok bool) {
+	if len(s.items) == 0 {
+		return v, false
+	}
+	v = s.items[0]
+	s.items = s.items[1:]
+	if len(s.putters) > 0 {
+		pu := s.putters[0]
+		s.putters = s.putters[1:]
+		s.items = append(s.items, pu.v)
+		pu.p.unblock(wakeEvent)
+	}
+	return v, true
+}

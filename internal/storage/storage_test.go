@@ -1,0 +1,183 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hbb/internal/sim"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{KindRAMDisk: "ramdisk", KindSSD: "ssd", KindHDD: "hdd", KindOST: "ost"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestCapacityAccounting(t *testing.T) {
+	d := NewDevice("ssd0", SSDProfile(1000))
+	if err := d.Alloc(600); err != nil {
+		t.Fatalf("alloc 600: %v", err)
+	}
+	if err := d.Alloc(500); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("alloc past capacity: err = %v, want ErrNoSpace", err)
+	}
+	if d.Used() != 600 || d.Free() != 400 {
+		t.Errorf("used/free = %d/%d, want 600/400", d.Used(), d.Free())
+	}
+	d.Dealloc(600)
+	if d.Used() != 0 {
+		t.Errorf("used after dealloc = %d", d.Used())
+	}
+}
+
+func TestUnlimitedCapacity(t *testing.T) {
+	d := NewDevice("ost0", OSTProfile(0))
+	if err := d.Alloc(1 << 50); err != nil {
+		t.Fatalf("alloc on unlimited device: %v", err)
+	}
+	if d.Free() <= 0 {
+		t.Errorf("unlimited device reports free = %d", d.Free())
+	}
+}
+
+func TestWriteTimeMatchesBandwidth(t *testing.T) {
+	e := sim.New(1)
+	d := NewDevice("hdd0", HDDProfile(0))
+	var took time.Duration
+	e.Spawn("w", func(p *sim.Proc) {
+		start := p.Now()
+		d.Write(p, 130e6) // 130 MB at 130 MB/s -> ~1 s + latency
+		took = p.Now() - start
+	})
+	e.Run()
+	want := time.Second + 4*time.Millisecond
+	if diff := took - want; diff < -20*time.Millisecond || diff > 20*time.Millisecond {
+		t.Errorf("write took %v, want ~%v", took, want)
+	}
+}
+
+func TestReadFasterThanWriteOnSSD(t *testing.T) {
+	e := sim.New(1)
+	d := NewDevice("ssd0", SSDProfile(0))
+	var readT, writeT time.Duration
+	e.Spawn("io", func(p *sim.Proc) {
+		s := p.Now()
+		d.Read(p, 500e6)
+		readT = p.Now() - s
+		s = p.Now()
+		d.Write(p, 500e6)
+		writeT = p.Now() - s
+	})
+	e.Run()
+	if readT >= writeT {
+		t.Errorf("read %v should be faster than write %v on SSD", readT, writeT)
+	}
+	// 500 MB at 500 MB/s read -> ~1s.
+	if diff := readT - time.Second; diff < -20*time.Millisecond || diff > 20*time.Millisecond {
+		t.Errorf("read took %v, want ~1s", readT)
+	}
+}
+
+func TestReadWriteContendOnSameDevice(t *testing.T) {
+	e := sim.New(1)
+	d := NewDevice("hdd0", HDDProfile(0))
+	var wg sim.WaitGroup
+	wg.Add(2)
+	e.Spawn("r", func(p *sim.Proc) { d.Read(p, 140e6); wg.Done() })
+	e.Spawn("w", func(p *sim.Proc) { d.Write(p, 130e6); wg.Done() })
+	end := e.Run()
+	// Each alone takes ~1s; together on one spindle ~2s.
+	if end < 1900*time.Millisecond {
+		t.Errorf("concurrent read+write finished at %v; expected ~2s (contention)", end)
+	}
+}
+
+func TestStatsAndBusyTime(t *testing.T) {
+	e := sim.New(1)
+	d := NewDevice("ram0", RAMDiskProfile(0))
+	e.Spawn("io", func(p *sim.Proc) {
+		d.Write(p, 1000)
+		d.Read(p, 500)
+		d.Read(p, 250)
+	})
+	e.Run()
+	rb, wb, ro, wo := d.Stats()
+	if rb != 750 || wb != 1000 || ro != 2 || wo != 1 {
+		t.Errorf("stats = r%d w%d ro%d wo%d", rb, wb, ro, wo)
+	}
+	if d.BusyTime() <= 0 {
+		t.Error("busy time not recorded")
+	}
+}
+
+func TestRAMDiskMuchFasterThanHDD(t *testing.T) {
+	e := sim.New(1)
+	ram := NewDevice("ram", RAMDiskProfile(0))
+	hdd := NewDevice("hdd", HDDProfile(0))
+	var ramT, hddT time.Duration
+	e.Spawn("io", func(p *sim.Proc) {
+		s := p.Now()
+		ram.Write(p, 1<<30)
+		ramT = p.Now() - s
+		s = p.Now()
+		hdd.Write(p, 1<<30)
+		hddT = p.Now() - s
+	})
+	e.Run()
+	if hddT < 20*ramT {
+		t.Errorf("HDD (%v) should be >20x slower than RAM disk (%v)", hddT, ramT)
+	}
+}
+
+func TestNegativeAllocPanics(t *testing.T) {
+	d := NewDevice("x", SSDProfile(100))
+	defer func() {
+		if recover() == nil {
+			t.Error("negative alloc did not panic")
+		}
+	}()
+	_ = d.Alloc(-1)
+}
+
+func TestOverDeallocPanics(t *testing.T) {
+	d := NewDevice("x", SSDProfile(100))
+	defer func() {
+		if recover() == nil {
+			t.Error("over-dealloc did not panic")
+		}
+	}()
+	d.Dealloc(1)
+}
+
+func TestRAID0Scaling(t *testing.T) {
+	base := SSDProfile(100)
+	r2 := RAID0(base, 2)
+	if r2.ReadBW != 2*base.ReadBW || r2.WriteBW != 2*base.WriteBW {
+		t.Errorf("RAID0(2) = %v/%v", r2.ReadBW, r2.WriteBW)
+	}
+	if r2.Capacity != base.Capacity {
+		t.Error("RAID0 changed capacity (capacity is the spec's total)")
+	}
+	r0 := RAID0(base, 0)
+	if r0.ReadBW != base.ReadBW {
+		t.Error("RAID0(<1) should be identity")
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	e := sim.New(1)
+	d := NewDevice("x", SSDProfile(0))
+	e.Spawn("io", func(p *sim.Proc) {
+		d.Write(p, 450e6) // ~1s busy
+		p.Sleep(time.Second)
+	})
+	end := e.Run()
+	u := d.BusyTime().Seconds() / end.Seconds()
+	if u < 0.45 || u > 0.55 {
+		t.Errorf("device busy fraction = %.2f, want ~0.5", u)
+	}
+}

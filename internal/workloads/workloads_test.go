@@ -1,0 +1,256 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hbb/internal/cluster"
+	"hbb/internal/hdfs"
+	"hbb/internal/lustre"
+	"hbb/internal/netsim"
+	"hbb/internal/sim"
+)
+
+const mib = int64(1) << 20
+
+type rig struct {
+	c *cluster.Cluster
+	h *hdfs.HDFS
+	l *lustre.Lustre
+}
+
+func newRig(nodes int) *rig {
+	c := cluster.New(cluster.Config{
+		Nodes:     nodes,
+		Transport: netsim.RDMA,
+		Hardware: cluster.HardwareSpec{
+			RAMDiskCapacity: 2 << 30,
+			SSDCapacity:     8 << 30,
+			MapSlots:        2,
+			ReduceSlots:     2,
+		},
+		Seed: 13,
+	})
+	h := hdfs.New(c, hdfs.Config{BlockSize: 16 * mib, PacketSize: mib})
+	h.Start()
+	l := lustre.New(c, lustre.Config{OSTs: 4, StripeCount: 2})
+	return &rig{c: c, h: h, l: l}
+}
+
+func (r *rig) run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	r.c.Env.Spawn("driver", func(p *sim.Proc) {
+		defer r.h.Shutdown()
+		fn(p)
+	})
+	r.c.Env.Run()
+	if dl := r.c.Env.Deadlocked(); len(dl) != 0 {
+		t.Fatalf("deadlocked: %v", dl)
+	}
+}
+
+func TestDFSIOWriteProducesFiles(t *testing.T) {
+	r := newRig(4)
+	r.run(t, func(p *sim.Proc) {
+		res, err := DFSIOWrite(p, r.c, r.h, "/io", 8, 32*mib)
+		if err != nil {
+			t.Fatalf("dfsio write: %v", err)
+		}
+		if res.Files != 8 || res.FileSize != 32*mib {
+			t.Errorf("result = %+v", res)
+		}
+		if res.AggregateMBps() <= 0 {
+			t.Error("zero throughput")
+		}
+		fis, err := r.h.List(p, 0, "/io")
+		if err != nil || len(fis) != 8 {
+			t.Fatalf("files = %d, %v", len(fis), err)
+		}
+		for _, fi := range fis {
+			if fi.Size != 32*mib {
+				t.Errorf("%s size = %d", fi.Path, fi.Size)
+			}
+		}
+	})
+}
+
+func TestDFSIOReadConsumesEverything(t *testing.T) {
+	r := newRig(4)
+	r.run(t, func(p *sim.Proc) {
+		if _, err := DFSIOWrite(p, r.c, r.h, "/io", 8, 32*mib); err != nil {
+			t.Fatal(err)
+		}
+		res, err := DFSIORead(p, r.c, r.h, "/io")
+		if err != nil {
+			t.Fatalf("dfsio read: %v", err)
+		}
+		if res.BytesInput != 8*32*mib {
+			t.Errorf("read %d bytes, want %d", res.BytesInput, 8*32*mib)
+		}
+		if res.Files != 8 || res.FileSize != 32*mib {
+			t.Errorf("result = %+v", res)
+		}
+	})
+}
+
+func TestDFSIOReadEmptyDirErrors(t *testing.T) {
+	r := newRig(2)
+	r.run(t, func(p *sim.Proc) {
+		if _, err := DFSIORead(p, r.c, r.h, "/nope"); err == nil {
+			t.Error("read of missing dir succeeded")
+		}
+		_ = r.h.Mkdir(p, 0, "/empty")
+		if _, err := DFSIORead(p, r.c, r.h, "/empty"); err == nil || !strings.Contains(err.Error(), "no files") {
+			t.Errorf("read of empty dir: %v", err)
+		}
+	})
+}
+
+func TestSortConservesBytes(t *testing.T) {
+	r := newRig(4)
+	r.run(t, func(p *sim.Proc) {
+		if _, err := RandomWriter(p, r.c, r.h, "/rw", 4, 32*mib); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Sort(p, r.c, r.h, "/rw", r.h, "/sorted", 4)
+		if err != nil {
+			t.Fatalf("sort: %v", err)
+		}
+		want := int64(4) * 32 * mib
+		if res.BytesInput != want || res.BytesShuffled != want || res.BytesOutput != want {
+			t.Errorf("conservation violated: %+v", res)
+		}
+		fis, _ := r.h.List(p, 0, "/sorted")
+		var out int64
+		for _, fi := range fis {
+			out += fi.Size
+		}
+		if out != want {
+			t.Errorf("output on disk = %d, want %d", out, want)
+		}
+	})
+}
+
+func TestSortDefaultsReducersToNodes(t *testing.T) {
+	r := newRig(4)
+	r.run(t, func(p *sim.Proc) {
+		RandomWriter(p, r.c, r.h, "/rw", 4, 8*mib)
+		res, err := Sort(p, r.c, r.h, "/rw", r.h, "/s", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ReduceTasks != 4 {
+			t.Errorf("reducers = %d, want node count", res.ReduceTasks)
+		}
+	})
+}
+
+func TestSortOnLustreUsesLustreIntermediates(t *testing.T) {
+	r := newRig(4)
+	var before, after int64
+	r.run(t, func(p *sim.Proc) {
+		if _, err := RandomWriter(p, r.c, r.l, "/rw", 4, 32*mib); err != nil {
+			t.Fatal(err)
+		}
+		before = r.l.Stats().BytesWritten
+		if _, err := Sort(p, r.c, r.l, "/rw", r.l, "/sorted", 4); err != nil {
+			t.Fatal(err)
+		}
+		after = r.l.Stats().BytesWritten
+	})
+	// Sort writes output (128 MiB) AND intermediates (128 MiB) to Lustre.
+	wrote := after - before
+	if wrote < 2*4*32*mib {
+		t.Errorf("lustre sort wrote %d bytes; intermediates should double the write volume", wrote)
+	}
+}
+
+func TestSortOnHDFSKeepsIntermediatesLocal(t *testing.T) {
+	r := newRig(4)
+	r.run(t, func(p *sim.Proc) {
+		RandomWriter(p, r.c, r.h, "/rw", 4, 32*mib)
+		before := r.l.Stats().BytesWritten
+		if _, err := Sort(p, r.c, r.h, "/rw", r.h, "/sorted", 4); err != nil {
+			t.Fatal(err)
+		}
+		if got := r.l.Stats().BytesWritten - before; got != 0 {
+			t.Errorf("HDFS sort leaked %d bytes to Lustre", got)
+		}
+	})
+}
+
+func TestScanSelectivity(t *testing.T) {
+	r := newRig(4)
+	r.run(t, func(p *sim.Proc) {
+		RandomWriter(p, r.c, r.h, "/data", 4, 64*mib)
+		res, err := Scan(p, r.c, r.h, "/data", r.h, "/hits", 0.05)
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		total := 4 * 64 * mib
+		want := int64(float64(total) * 0.05)
+		// Per-map rounding makes this approximate.
+		if res.BytesShuffled < want*9/10 || res.BytesShuffled > want*11/10 {
+			t.Errorf("shuffled %d, want ~%d (5%% selectivity)", res.BytesShuffled, want)
+		}
+		if res.BytesInput != 4*64*mib {
+			t.Errorf("scan read %d bytes", res.BytesInput)
+		}
+	})
+}
+
+func TestScanDefaultSelectivity(t *testing.T) {
+	r := newRig(2)
+	r.run(t, func(p *sim.Proc) {
+		RandomWriter(p, r.c, r.h, "/data", 2, 32*mib)
+		res, err := Scan(p, r.c, r.h, "/data", r.h, "/hits", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BytesShuffled == 0 || res.BytesShuffled > res.BytesInput/10 {
+			t.Errorf("default selectivity shuffled %d of %d", res.BytesShuffled, res.BytesInput)
+		}
+	})
+}
+
+func TestCleanupRemovesDirectory(t *testing.T) {
+	r := newRig(2)
+	r.run(t, func(p *sim.Proc) {
+		DFSIOWrite(p, r.c, r.h, "/tmp", 4, 8*mib)
+		Cleanup(p, r.c, r.h, "/tmp")
+		if _, err := r.h.Stat(p, 0, "/tmp"); err == nil {
+			t.Error("directory survived cleanup")
+		}
+	})
+}
+
+func TestElapse(t *testing.T) {
+	r := newRig(2)
+	r.run(t, func(p *sim.Proc) {
+		d := Elapse(p, func() { p.Sleep(42 * time.Millisecond) })
+		if d != 42*time.Millisecond {
+			t.Errorf("elapse = %v", d)
+		}
+	})
+}
+
+func TestDFSIOFasterOnFasterStorage(t *testing.T) {
+	// The same workload must rank backends by their I/O capability:
+	// lustre (4 OSTs) should beat HDFS (3-way replication on SSDs).
+	r := newRig(4)
+	r.run(t, func(p *sim.Proc) {
+		h, err := DFSIOWrite(p, r.c, r.h, "/h", 8, 64*mib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := DFSIOWrite(p, r.c, r.l, "/l", 8, 64*mib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.AggregateMBps() <= h.AggregateMBps() {
+			t.Errorf("lustre (%.0f MB/s) should out-write replicated HDFS (%.0f MB/s)",
+				l.AggregateMBps(), h.AggregateMBps())
+		}
+	})
+}
