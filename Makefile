@@ -1,11 +1,19 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test bench repro tools clean
+.PHONY: all test vet race bench repro tools clean
 
 all: test
 
 test:
 	go build ./... && go vet ./... && go test ./...
+
+vet:
+	go vet ./...
+
+# Race-detector pass; the sim kernel runs one process at a time but the
+# harness, mcserver, and CLIs use real goroutines.
+race:
+	go test -race ./...
 
 bench:
 	go test -bench=. -benchmem -benchtime 1x ./...

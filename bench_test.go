@@ -116,3 +116,8 @@ func BenchmarkFig10Diskless(b *testing.B) { benchExperiment(b, "fig10") }
 // BenchmarkTab4Extensions regenerates the replication/re-admission
 // extension table.
 func BenchmarkTab4Extensions(b *testing.B) { benchExperiment(b, "tab4") }
+
+// BenchmarkTab5PolicyMetrics regenerates the per-scheme burst-buffer
+// metrics table (flush latency, writer stalls, read sources, adaptive
+// mode split).
+func BenchmarkTab5PolicyMetrics(b *testing.B) { benchExperiment(b, "tab5") }

@@ -8,12 +8,14 @@
 //	bbench -list
 //	bbench -experiment fig3 -scale full
 //	bbench -experiment all -scale small
+//	bbench -experiment fig3 -backends hdfs,lustre,bb-adaptive
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"hbb"
@@ -21,11 +23,26 @@ import (
 
 func main() {
 	var (
-		id    = flag.String("experiment", "all", "experiment id (fig1..fig9, tab1..tab3) or 'all'")
-		scale = flag.String("scale", "small", "sizing: 'small' (quick) or 'full' (paper-scale)")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		id       = flag.String("experiment", "all", "experiment id (fig1..fig10, tab1..tab5) or 'all'")
+		scale    = flag.String("scale", "small", "sizing: 'small' (quick) or 'full' (paper-scale)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		backends = flag.String("backends", "", "comma-separated backends the macro-benchmarks compare (default: the paper's five; registered: "+strings.Join(hbb.BackendNames(), ",")+")")
 	)
 	flag.Parse()
+
+	if *backends != "" {
+		var bs []hbb.Backend
+		for _, name := range strings.Split(*backends, ",") {
+			b, err := hbb.ParseBackend(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bbench:", err)
+				flag.Usage()
+				os.Exit(2)
+			}
+			bs = append(bs, b)
+		}
+		hbb.CompareBackends(bs)
+	}
 
 	if *list {
 		for _, e := range hbb.Experiments() {

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hbb"
 )
@@ -19,7 +20,7 @@ import (
 func main() {
 	var (
 		workload = flag.String("workload", "dfsio-write", "dfsio-write | dfsio-read | randomwriter | sort | scan")
-		backend  = flag.String("backend", "bb-async", "hdfs | lustre | bb-async | bb-locality | bb-sync")
+		backend  = flag.String("backend", "bb-async", "storage backend: "+strings.Join(hbb.BackendNames(), " | "))
 		nodes    = flag.Int("nodes", 8, "compute nodes")
 		files    = flag.Int("files", 0, "files/maps (default: 4 per node)")
 		sizeMB   = flag.Int64("size-mb", 1024, "per-file (dfsio/randomwriter) or total (sort/scan) MiB")
@@ -30,15 +31,10 @@ func main() {
 	)
 	flag.Parse()
 
-	var b hbb.Backend
-	found := false
-	for _, cand := range hbb.AllBackends {
-		if cand.String() == *backend {
-			b, found = cand, true
-		}
-	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "bbrun: unknown backend %q\n", *backend)
+	b, err := hbb.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbrun:", err)
+		flag.Usage()
 		os.Exit(2)
 	}
 	if *files == 0 {
@@ -112,6 +108,9 @@ func main() {
 			fmt.Printf("burst buffer: flushed=%.1f GiB  reads buffer/local/lustre=%d/%d/%d  stalls=%d evictions=%d\n",
 				float64(st.BytesFlushed)/(1<<30), st.ReadsBuffer, st.ReadsLocal, st.ReadsLustre,
 				st.WriterStalls, st.Evictions)
+		}
+		if reg, ok := tb.BurstBufferMetrics(b); ok {
+			fmt.Printf("flush latency: %s\n", reg.Histogram("flush.latency.s"))
 		}
 	})
 }

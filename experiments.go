@@ -62,6 +62,8 @@ func Experiments() []Experiment {
 			"substrate sensitivity of the Lustre baseline", tab3},
 		{"tab4", "Extension: in-buffer replication and read re-admission",
 			"replication closes the async loss window for ~2x write cost; re-admission restores RDMA-speed re-reads", tab4},
+		{"tab5", "Per-scheme burst-buffer metrics (incl. bb-adaptive)",
+			"policies differ in flush latency, writer stalls, and read sources; the adaptive scheme write-throughs when calm and buffers under burst", tab5},
 	}
 }
 
@@ -118,8 +120,19 @@ func newBench(sz sizing, nodes int) *Testbed {
 	return tb
 }
 
-// comparedBackends are the systems every macro-benchmark compares.
+// comparedBackends are the systems every macro-benchmark compares: the
+// paper's five-system evaluation by default.
 var comparedBackends = []Backend{BackendHDFS, BackendLustre, BackendBBAsync, BackendBBLocality, BackendBBSync}
+
+// CompareBackends overrides the backend set the macro-benchmarks compare
+// (cmd/bbench's -backends flag). The ratio columns still key off
+// BackendHDFS and BackendLustre when those are in the set.
+func CompareBackends(bs []Backend) {
+	if len(bs) == 0 {
+		return
+	}
+	comparedBackends = append([]Backend(nil), bs...)
+}
 
 // dfsioRun holds one backend's write+read measurement.
 type dfsioRun struct {
@@ -595,6 +608,54 @@ func fig10(scale Scale) *metrics.Table {
 			})
 			t.AddRow(fmt.Sprintf("%.0f", gb(total)), b.String(), outcome, mbps)
 		}
+	}
+	return t
+}
+
+// tab5 drives the same DFSIO write+read through every burst-buffer policy
+// and reports the per-scheme metrics registry: flush latency, writer-stall
+// time, read-source hits, and — for bb-adaptive — the per-block mode split
+// its traffic detector chose.
+func tab5(scale Scale) *metrics.Table {
+	sz := sizingFor(scale)
+	total := sz.sortSizes[0]
+	t := metrics.NewTable(fmt.Sprintf("tab5: per-scheme metrics, %.0f GB DFSIO write+read", gb(total)),
+		"scheme", "wr MB/s", "rd MB/s",
+		"flushes", "flush-mean(ms)", "flush-p99(ms)",
+		"stalls", "stall-mean(ms)",
+		"reads l/b/rl/lu", "adaptive wt/async")
+	for _, b := range []Backend{BackendBBAsync, BackendBBLocality, BackendBBSync, BackendBBAdaptive} {
+		b := b
+		tb := newBench(sz, sz.nodes)
+		var wMBps, rMBps float64
+		tb.Run(func(ctx *Ctx) {
+			w, err := ctx.DFSIOWrite(b, "/bench/met", sz.files, total/int64(sz.files))
+			if err != nil {
+				return
+			}
+			wMBps = w.AggregateMBps()
+			if r, err := ctx.DFSIORead(b, "/bench/met"); err == nil {
+				rMBps = r.AggregateMBps()
+			}
+			ctx.DrainBurstBuffer(b)
+		})
+		reg, _ := tb.BurstBufferMetrics(b)
+		flush := reg.Histogram("flush.latency.s")
+		stall := reg.Histogram("writer.stall.s")
+		srcs := fmt.Sprintf("%d/%d/%d/%d",
+			reg.Counter("read.src.local").Value(),
+			reg.Counter("read.src.buffer").Value(),
+			reg.Counter("read.src.remote-local").Value(),
+			reg.Counter("read.src.lustre").Value())
+		modes := "-"
+		if b == BackendBBAdaptive {
+			modes = fmt.Sprintf("%d/%d",
+				reg.Counter("adaptive.blocks.writethrough").Value(),
+				reg.Counter("adaptive.blocks.async").Value())
+		}
+		t.AddRow(b.String(), wMBps, rMBps,
+			flush.Count(), flush.Mean()*1e3, flush.Quantile(0.99)*1e3,
+			stall.Count(), stall.Mean()*1e3, srcs, modes)
 	}
 	return t
 }

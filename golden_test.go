@@ -1,0 +1,90 @@
+package hbb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// goldenRun is the deterministic fingerprint of one backend's short DFSIO
+// write+read pass: simulated durations, byte totals, and (for burst-buffer
+// backends) the activity counters. Any change to the simulation that shifts
+// a scheme's behaviour shows up here as a diff against the recorded seed
+// values, so policy-layer refactors cannot silently change results.
+type goldenRun struct {
+	writeNS  int64
+	readNS   int64
+	bytes    int64
+	stats    string // %+v of core.Stats, "" for non-buffer backends
+	totalNS  int64  // full virtual time of the run, flush drain included
+	localUse int64  // compute-node-local bytes after drain
+}
+
+// goldenFingerprint runs the canonical short workload for one backend.
+func goldenFingerprint(t *testing.T, b Backend) goldenRun {
+	t.Helper()
+	tb, err := New(Options{Nodes: 4, Seed: 42, ChunkSize: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const files = 8
+	const fileSize = 64 << 20
+	var g goldenRun
+	total := tb.Run(func(ctx *Ctx) {
+		w, err := ctx.DFSIOWrite(b, "/golden", files, fileSize)
+		if err != nil {
+			t.Fatalf("%v write: %v", b, err)
+		}
+		g.writeNS = int64(w.Duration)
+		r, err := ctx.DFSIORead(b, "/golden")
+		if err != nil {
+			t.Fatalf("%v read: %v", b, err)
+		}
+		g.readNS = int64(r.Duration)
+		g.bytes = r.BytesInput
+		ctx.DrainBurstBuffer(b)
+		g.localUse = tb.LocalStorageUsed()
+	})
+	g.totalNS = int64(total)
+	if st, ok := tb.BurstBufferStats(b); ok {
+		g.stats = fmt.Sprintf("w=%d r=%d f=%d rb=%d rl=%d rlu=%d ev=%d st=%d",
+			st.BytesWritten, st.BytesRead, st.BytesFlushed,
+			st.ReadsBuffer, st.ReadsLocal, st.ReadsLustre,
+			st.Evictions, st.WriterStalls)
+	}
+	return g
+}
+
+// seedGoldens are the recorded fingerprints of the five seed backends.
+// Regenerate with `go test -run TestGoldenDeterminism -v` and copy the
+// logged actual values ONLY when a simulation-behaviour change is
+// intentional; a pure refactor must leave every value untouched.
+var seedGoldens = map[string]goldenRun{
+	"hdfs":   {writeNS: 523211018, readNS: 135947894, bytes: 536870912, stats: "", totalNS: 659321466, localUse: 1610612736},
+	"lustre": {writeNS: 148978864, readNS: 170635068, bytes: 536870912, stats: "", totalNS: 320123408, localUse: 0},
+	"bb-async": {writeNS: 136560691, readNS: 43405859, bytes: 536870912,
+		stats: "w=536870912 r=536870912 f=536870912 rb=8 rl=0 rlu=0 ev=0 st=0", totalNS: 243428779, localUse: 0},
+	"bb-locality": {writeNS: 137540357, readNS: 27408031, bytes: 536870912,
+		stats: "w=536870912 r=536870912 f=536870912 rb=0 rl=8 rlu=0 ev=0 st=0", totalNS: 238923864, localUse: 536870912},
+	"bb-sync": {writeNS: 159292889, readNS: 34313503, bytes: 536870912,
+		stats: "w=536870912 r=536870912 f=536870912 rb=8 rl=0 rlu=0 ev=0 st=0", totalNS: 193645848, localUse: 0},
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	for _, b := range []Backend{BackendHDFS, BackendLustre, BackendBBAsync, BackendBBLocality, BackendBBSync} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			got := goldenFingerprint(t, b)
+			want, ok := seedGoldens[b.String()]
+			t.Logf("actual: {writeNS: %d, readNS: %d, bytes: %d, stats: %q, totalNS: %d, localUse: %d}",
+				got.writeNS, got.readNS, got.bytes, got.stats, got.totalNS, got.localUse)
+			if !ok {
+				t.Fatalf("no golden recorded for %v", b)
+			}
+			if got != want {
+				t.Errorf("fingerprint drifted from seed:\n got: %+v\nwant: %+v", got, want)
+			}
+			_ = time.Duration(got.writeNS)
+		})
+	}
+}

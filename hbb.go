@@ -1,7 +1,8 @@
 // Package hbb is a simulation-backed reproduction of "Accelerating I/O
 // Performance of Big Data Analytics on HPC Clusters through RDMA-Based
 // Key-Value Store" (Islam et al., ICPP 2015): an RDMA-Memcached burst
-// buffer integrating HDFS with Lustre under three schemes, together with
+// buffer integrating HDFS with Lustre under pluggable policies — the
+// paper's three schemes plus an adaptive traffic-detecting one — with
 // the full substrate stack — a deterministic discrete-event kernel, an
 // InfiniBand-class fabric model, HDFS, Lustre, a real memcached engine,
 // and a MapReduce engine — plus the benchmark harness that regenerates
@@ -21,6 +22,7 @@ package hbb
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"hbb/internal/cluster"
@@ -29,15 +31,19 @@ import (
 	"hbb/internal/hdfs"
 	"hbb/internal/lustre"
 	"hbb/internal/mapreduce"
+	"hbb/internal/metrics"
 	"hbb/internal/netsim"
 	"hbb/internal/sim"
 	"hbb/internal/workloads"
 )
 
-// Backend identifies a storage configuration under test.
+// Backend identifies a storage configuration under test. Backends live in
+// a name-keyed registry (see RegisterBackend and ParseBackend); the Backend
+// value is an index into it.
 type Backend int
 
-// The five backends the evaluation compares.
+// The built-in backends: the two baselines, the paper's three burst-buffer
+// schemes, and the traffic-detecting adaptive scheme.
 const (
 	// BackendHDFS is stock HDFS with 3-way replication on node-local
 	// storage (the paper's first baseline).
@@ -53,27 +59,92 @@ const (
 	// BackendBBSync is the write-through burst buffer (design axis:
 	// fault-tolerance).
 	BackendBBSync
+	// BackendBBAdaptive is the traffic-detecting burst buffer (after Shi
+	// et al.): write-through while write traffic is light, degrading to
+	// asynchronous flushing under burst.
+	BackendBBAdaptive
 )
 
-// AllBackends lists every backend in comparison order.
-var AllBackends = []Backend{BackendHDFS, BackendLustre, BackendBBAsync, BackendBBLocality, BackendBBSync}
+// backendKind selects the file-system family a backend resolves to.
+type backendKind int
+
+const (
+	kindHDFS backendKind = iota
+	kindLustre
+	kindBurstBuffer
+)
+
+// backendDef is one registry entry; Backend values index this table.
+type backendDef struct {
+	name   string
+	kind   backendKind
+	policy string // core policy name (burst-buffer kinds only)
+}
+
+var backendDefs = []backendDef{
+	{name: "hdfs", kind: kindHDFS},
+	{name: "lustre", kind: kindLustre},
+	{name: "bb-async", kind: kindBurstBuffer, policy: "bb-async"},
+	{name: "bb-locality", kind: kindBurstBuffer, policy: "bb-locality"},
+	{name: "bb-sync", kind: kindBurstBuffer, policy: "bb-sync"},
+	{name: "bb-adaptive", kind: kindBurstBuffer, policy: "bb-adaptive"},
+}
+
+// AllBackends lists every registered backend in comparison order.
+var AllBackends = func() []Backend {
+	all := make([]Backend, len(backendDefs))
+	for i := range all {
+		all[i] = Backend(i)
+	}
+	return all
+}()
+
+// RegisterBackend adds a burst-buffer backend driven by the named core
+// policy (see core.RegisterPolicy) and returns its handle. Testbeds built
+// afterwards instantiate it like any built-in; it is appended to
+// AllBackends. Registration must happen before New (init time, typically)
+// and the name must be unused.
+func RegisterBackend(name, policy string) Backend {
+	if name == "" {
+		panic("hbb: RegisterBackend with empty name")
+	}
+	for _, d := range backendDefs {
+		if d.name == name {
+			panic(fmt.Sprintf("hbb: backend %q already registered", name))
+		}
+	}
+	backendDefs = append(backendDefs, backendDef{name: name, kind: kindBurstBuffer, policy: policy})
+	b := Backend(len(backendDefs) - 1)
+	AllBackends = append(AllBackends, b)
+	return b
+}
+
+// BackendNames lists the registered backend names in registry order.
+func BackendNames() []string {
+	names := make([]string, len(backendDefs))
+	for i, d := range backendDefs {
+		names[i] = d.name
+	}
+	return names
+}
+
+// ParseBackend resolves a backend by its report label, erroring with the
+// registered names on an unknown one.
+func ParseBackend(name string) (Backend, error) {
+	for i, d := range backendDefs {
+		if d.name == name {
+			return Backend(i), nil
+		}
+	}
+	return 0, fmt.Errorf("hbb: unknown backend %q (registered: %s)", name, strings.Join(BackendNames(), ", "))
+}
 
 // String returns the backend's report label.
 func (b Backend) String() string {
-	switch b {
-	case BackendHDFS:
-		return "hdfs"
-	case BackendLustre:
-		return "lustre"
-	case BackendBBAsync:
-		return "bb-async"
-	case BackendBBLocality:
-		return "bb-locality"
-	case BackendBBSync:
-		return "bb-sync"
-	default:
-		return fmt.Sprintf("backend(%d)", int(b))
+	if b >= 0 && int(b) < len(backendDefs) {
+		return backendDefs[b].name
 	}
+	return fmt.Sprintf("backend(%d)", int(b))
 }
 
 // Transport selects the fabric profile.
@@ -257,20 +328,16 @@ func New(opts Options) (*Testbed, error) {
 		Replication: opts.Replication,
 		PacketSize:  opts.ChunkSize,
 	})
-	// Fixed order: fabric node IDs and spawn order must not depend on map
-	// iteration, or runs would stop being reproducible.
-	schemes := []struct {
-		b      Backend
-		scheme core.Scheme
-	}{
-		{BackendBBAsync, core.SchemeAsyncLustre},
-		{BackendBBLocality, core.SchemeLocalityAware},
-		{BackendBBSync, core.SchemeSyncLustre},
-	}
-	for _, s := range schemes {
-		b, scheme := s.b, s.scheme
-		tb.bb[b] = core.New(cl, tb.lustre, core.Config{
-			Scheme:         scheme,
+	// Registry order is fixed: fabric node IDs and spawn order must not
+	// depend on map iteration, or runs would stop being reproducible.
+	// Backends registered after the built-ins come last, so they cannot
+	// perturb the built-ins' node IDs.
+	for i, d := range backendDefs {
+		if d.kind != kindBurstBuffer {
+			continue
+		}
+		tb.bb[Backend(i)] = core.New(cl, tb.lustre, core.Config{
+			Policy:         d.policy,
 			Servers:        opts.BBServers,
 			ServerMemory:   opts.BBServerMemory,
 			BlockSize:      opts.BlockSize,
@@ -301,10 +368,10 @@ func (tb *Testbed) fs(b Backend) dfs.FileSystem {
 }
 
 func (tb *Testbed) rawFS(b Backend) dfs.FileSystem {
-	switch b {
-	case BackendHDFS:
+	switch backendDefs[b].kind {
+	case kindHDFS:
 		return tb.hdfs
-	case BackendLustre:
+	case kindLustre:
 		return tb.lustre
 	default:
 		return tb.bb[b]
@@ -356,6 +423,17 @@ func (tb *Testbed) BurstBufferStats(b Backend) (core.Stats, bool) {
 		return core.Stats{}, false
 	}
 	return fs.Stats(), true
+}
+
+// BurstBufferMetrics returns a burst-buffer backend's metrics registry
+// (flush-latency and writer-stall histograms, read-source and policy
+// counters).
+func (tb *Testbed) BurstBufferMetrics(b Backend) (*metrics.Registry, bool) {
+	fs, ok := tb.bb[b]
+	if !ok {
+		return nil, false
+	}
+	return fs.Metrics(), true
 }
 
 // LocalStorageUsed reports bytes of compute-node-local storage in use.

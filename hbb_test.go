@@ -38,11 +38,28 @@ func TestBadOptions(t *testing.T) {
 }
 
 func TestBackendStrings(t *testing.T) {
-	want := []string{"hdfs", "lustre", "bb-async", "bb-locality", "bb-sync"}
+	want := []string{"hdfs", "lustre", "bb-async", "bb-locality", "bb-sync", "bb-adaptive"}
 	for i, b := range AllBackends {
 		if b.String() != want[i] {
 			t.Errorf("backend %d = %q, want %q", i, b, want[i])
 		}
+	}
+	if got := Backend(99).String(); got != "backend(99)" {
+		t.Errorf("out-of-range String() = %q, want %q", got, "backend(99)")
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for _, b := range AllBackends {
+		got, err := ParseBackend(b.String())
+		if err != nil || got != b {
+			t.Errorf("ParseBackend(%q) = %v, %v; want %v", b.String(), got, err, b)
+		}
+	}
+	if _, err := ParseBackend("bb-nonesuch"); err == nil {
+		t.Error("ParseBackend accepted an unknown name")
+	} else if !strings.Contains(err.Error(), "bb-adaptive") {
+		t.Errorf("error %q does not list registered backends", err)
 	}
 }
 
@@ -275,8 +292,8 @@ func TestExperimentRegistry(t *testing.T) {
 			t.Errorf("experiment %q incomplete", e.ID)
 		}
 	}
-	if len(seen) != 14 {
-		t.Errorf("%d experiments, want 14 (10 figures + 4 tables)", len(seen))
+	if len(seen) != 15 {
+		t.Errorf("%d experiments, want 15 (10 figures + 5 tables)", len(seen))
 	}
 	if _, ok := ExperimentByID("fig3"); !ok {
 		t.Error("fig3 not found")

@@ -1,20 +1,32 @@
 // Package core implements the paper's primary contribution: a burst buffer
 // built from RDMA-based Memcached servers, interposed between HDFS-style
-// clients and Lustre, with three integration schemes covering the design
-// axes the paper names — raw I/O performance, data-locality, and
-// fault-tolerance.
+// clients and Lustre. How the buffer integrates the two file systems is
+// decided by a pluggable Policy (see policy.go): the write path asks the
+// policy for a per-block BlockPlan (flush mode plus optional Lustre/local
+// tees), the read path asks it for the ordered list of sources to try, and
+// eviction notifies it. Policies register by name via RegisterPolicy and
+// are selected with Config.Policy.
 //
-//   - SchemeAsyncLustre: writes land in the key-value burst buffer and are
-//     acknowledged immediately; a flusher pool drains dirty blocks to
-//     Lustre in the background. Fastest writes; a loss window exists until
-//     flush completes. No local storage used.
-//   - SchemeLocalityAware: one replica of each block is written to the
-//     writer's node-local storage in parallel with the buffer write, so
-//     map tasks retain HDFS-style data-locality; Lustre persistence stays
-//     asynchronous.
-//   - SchemeSyncLustre: the Lustre write happens before the client's block
-//     ack (write-through); the buffer then serves reads as an RDMA cache.
-//     Zero loss window, writes bounded by Lustre.
+// Four policies are built in. The first three are the paper's schemes,
+// one per design axis the abstract names — raw I/O performance,
+// data-locality, and fault-tolerance:
+//
+//   - "bb-async" (asyncPolicy): writes land in the key-value burst buffer
+//     and are acknowledged immediately; a flusher pool drains dirty blocks
+//     to Lustre in the background. Fastest writes; a loss window exists
+//     until flush completes. No local storage used.
+//   - "bb-locality" (localityPolicy): one replica of each block is written
+//     to the writer's node-local storage in parallel with the buffer
+//     write, so map tasks retain HDFS-style data-locality; Lustre
+//     persistence stays asynchronous.
+//   - "bb-sync" (syncPolicy): the Lustre write happens before the client's
+//     block ack (write-through); the buffer then serves reads as an RDMA
+//     cache. Zero loss window, writes bounded by Lustre.
+//   - "bb-adaptive" (adaptivePolicy): traffic-detecting hybrid. While the
+//     buffer is calm it plans write-through blocks (sync-like, no loss
+//     window); when concurrent writers and flusher backlog cross
+//     Config.AdaptiveBurstBlocks it degrades to async buffering until the
+//     backlog falls to Config.AdaptiveCalmBlocks (hysteresis).
 //
 // The buffer servers run the real memcached engine
 // (internal/memcached) with virtual (size-only) items, so allocator, LRU,
@@ -53,8 +65,14 @@ func (s Scheme) String() string {
 
 // Config parametrizes the burst buffer file system.
 type Config struct {
-	// Scheme selects the integration mode.
+	// Scheme selects the integration mode. It is the legacy selector kept
+	// for compatibility: when Policy is empty the scheme's name picks the
+	// policy ("bb-async", "bb-locality", "bb-sync").
 	Scheme Scheme
+	// Policy selects the integration policy by registry name (see
+	// RegisterPolicy); it takes precedence over Scheme. The built-ins are
+	// "bb-async", "bb-locality", "bb-sync", and "bb-adaptive".
+	Policy string
 	// Servers is the number of dedicated burst-buffer (RDMA-Memcached)
 	// server nodes. Zero defaults to 4.
 	Servers int
@@ -102,6 +120,15 @@ type Config struct {
 	// buffer as clean cache fills (when the owning server has free space),
 	// so repeated reads of evicted data regain RDMA speed.
 	ReadmitOnRead bool
+	// AdaptiveBurstBlocks is the bb-adaptive traffic detector's high
+	// watermark: when the number of in-flight blocks (streaming writers
+	// plus flusher backlog) reaches it, the policy degrades from
+	// write-through to async flushing. Zero defaults to 4.
+	AdaptiveBurstBlocks int
+	// AdaptiveCalmBlocks is the matching low watermark: once in-flight
+	// blocks fall back to this level the policy returns to write-through.
+	// Zero defaults to 1 (hysteresis: Calm < Burst).
+	AdaptiveCalmBlocks int
 }
 
 func (c Config) withDefaults() Config {
@@ -138,7 +165,21 @@ func (c Config) withDefaults() Config {
 	if c.BufferReplicas == 0 {
 		c.BufferReplicas = 1
 	}
+	if c.AdaptiveBurstBlocks == 0 {
+		c.AdaptiveBurstBlocks = 4
+	}
+	if c.AdaptiveCalmBlocks == 0 {
+		c.AdaptiveCalmBlocks = 1
+	}
 	return c
+}
+
+// policyName resolves the effective policy registry key.
+func (c Config) policyName() string {
+	if c.Policy != "" {
+		return c.Policy
+	}
+	return c.Scheme.String()
 }
 
 // blockState tracks where a block's bytes currently live.

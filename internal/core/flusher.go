@@ -21,8 +21,30 @@ func (s *BufferServer) flusherLoop(p *sim.Proc) {
 		}
 		s.flushing++
 		b.state = stateFlushing
+		start := p.Now()
 		s.flushBlock(p, b)
 		s.flushing--
+		if b.state == stateClean {
+			s.fs.metrics.Histogram("flush.latency.s").Observe((p.Now() - start).Seconds())
+		} else if b.state == stateFlushing {
+			// The copy did not complete and nobody else settled the block.
+			// If this server failed (or the block was reassigned away),
+			// FailServer's resident scan owns the block's fate — recovery or
+			// loss is accounted exactly once there, and a recovery spawned by
+			// it may still be in flight holding the block in stateFlushing.
+			// Otherwise the failure was transient (e.g. a backing-store
+			// error): put the block back in the dirty queue so its bytes are
+			// not stranded un-flushable. PutWait tolerates a queue closed by
+			// a concurrent Shutdown.
+			if !s.failed && b.primary() == s && !b.deleted {
+				b.state = stateDirty
+				if b.flushRetries < maxBlockRetries {
+					b.flushRetries++
+					s.fs.stats.FlushRetries++
+					s.dirtyQueue.PutWait(p, b)
+				}
+			}
+		}
 		// The block became evictable on every replica holder, not just the
 		// flushing primary; wake writers stalled on any of them.
 		s.signalFlushProgress()

@@ -8,6 +8,7 @@ import (
 	"hbb/internal/dfs"
 	"hbb/internal/hashring"
 	"hbb/internal/lustre"
+	"hbb/internal/metrics"
 	"hbb/internal/netsim"
 	"hbb/internal/sim"
 	"hbb/internal/storage"
@@ -32,6 +33,7 @@ type Stats struct {
 	BlocksLost      int64 // dirty blocks lost to server failures
 	BlocksRecovered int64 // dirty blocks re-flushed from local replicas
 	BlockRetries    int64 // blocks restarted on another server
+	FlushRetries    int64 // blocks re-queued after a transient flush failure
 	Promotions      int64 // in-buffer replicas promoted after a crash
 	Readmissions    int64 // blocks re-admitted to the buffer on read
 }
@@ -55,7 +57,11 @@ type bbBlock struct {
 	// attempt counts server reassignments, keeping Lustre object names
 	// unique across retries.
 	attempt int
-	deleted bool
+	// flushRetries counts transient flush failures; bounded by
+	// maxBlockRetries so a persistently failing backing store cannot spin
+	// the flusher loop forever.
+	flushRetries int
+	deleted      bool
 	// readmitting guards against duplicate cache-fill attempts.
 	readmitting bool
 }
@@ -96,6 +102,7 @@ func (b *bbBlock) dropServer(s *BufferServer) {
 // dfs.FileSystem.
 type BurstFS struct {
 	cfg       Config
+	policy    Policy
 	cl        *cluster.Cluster
 	net       *netsim.Network
 	backing   *lustre.Lustre
@@ -106,6 +113,10 @@ type BurstFS struct {
 	srvByName map[string]*BufferServer
 	nextBlock int64
 	stats     Stats
+	metrics   *metrics.Registry
+	// openBlocks counts blocks currently being streamed by writers — a
+	// live traffic signal policies may read (see adaptivePolicy).
+	openBlocks int
 }
 
 var _ dfs.FileSystem = (*BurstFS)(nil)
@@ -119,8 +130,13 @@ func New(cl *cluster.Cluster, backing *lustre.Lustre, cfg Config) *BurstFS {
 		panic(fmt.Sprintf("core: server memory %d cannot admit a single %d-byte block",
 			cfg.ServerMemory, cfg.BlockSize))
 	}
+	pol, err := newPolicy(cfg.policyName(), cfg)
+	if err != nil {
+		panic(err)
+	}
 	fs := &BurstFS{
 		cfg:       cfg,
+		policy:    pol,
 		cl:        cl,
 		net:       cl.Net,
 		backing:   backing,
@@ -128,6 +144,7 @@ func New(cl *cluster.Cluster, backing *lustre.Lustre, cfg Config) *BurstFS {
 		tree:      dfs.NewTree(),
 		ring:      hashring.New(0),
 		srvByName: make(map[string]*BufferServer),
+		metrics:   metrics.NewRegistry(),
 	}
 	for i := 0; i < cfg.Servers; i++ {
 		s := newBufferServer(fs, i)
@@ -140,10 +157,18 @@ func New(cl *cluster.Cluster, backing *lustre.Lustre, cfg Config) *BurstFS {
 }
 
 // Name implements dfs.FileSystem.
-func (fs *BurstFS) Name() string { return fs.cfg.Scheme.String() }
+func (fs *BurstFS) Name() string { return fs.policy.Name() }
+
+// Policy returns the active integration policy.
+func (fs *BurstFS) Policy() Policy { return fs.policy }
 
 // Stats returns activity counters.
 func (fs *BurstFS) Stats() Stats { return fs.stats }
+
+// Metrics returns the per-scheme metrics registry: flush-latency and
+// writer-stall histograms, read-source hit counters, and any counters the
+// active policy maintains.
+func (fs *BurstFS) Metrics() *metrics.Registry { return fs.metrics }
 
 // Config returns the effective configuration.
 func (fs *BurstFS) Config() Config { return fs.cfg }
@@ -173,9 +198,11 @@ func (fs *BurstFS) Start() {
 	}
 }
 
-// Shutdown stops the flusher pools once their queues drain.
+// Shutdown stops the flusher pools once their queues drain. Deferred
+// blocks are promoted first so nothing dirty is left behind.
 func (fs *BurstFS) Shutdown() {
 	for _, s := range fs.servers {
+		s.promoteDeferred()
 		s.dirtyQueue.Close()
 	}
 }
@@ -186,7 +213,10 @@ func (fs *BurstFS) DrainFlushers(p *sim.Proc) {
 	for {
 		busy := false
 		for _, s := range fs.servers {
-			if s.dirtyQueue.Len() > 0 || s.flushing > 0 {
+			// A promoted block may be handed straight to a blocked flusher
+			// (queue length stays 0 until it runs), so promotion itself
+			// counts as in-flight work.
+			if s.promoteDeferred() > 0 || s.dirtyQueue.Len() > 0 || s.flushing > 0 {
 				busy = true
 				break
 			}
@@ -234,6 +264,7 @@ func (fs *BurstFS) FailServer(i int) {
 		}
 	}
 	s.resident = make(map[*bbBlock]struct{})
+	s.deferred = nil
 	s.bytes = 0
 }
 

@@ -21,9 +21,10 @@ func (fs *BurstFS) Open(p *sim.Proc, client netsim.NodeID, path string) (dfs.Rea
 }
 
 // bbReader streams a file out of the burst buffer, choosing per block the
-// cheapest live source: node-local replica, then the RDMA buffer, then a
-// remote local replica, then Lustre. Mid-block failures fall back to the
-// next source, re-fetching the consumed prefix.
+// best untried live source in the order the policy prefers (by default:
+// node-local replica, then the RDMA buffer, then a remote local replica,
+// then Lustre). Mid-block failures fall back to the next source,
+// re-fetching the consumed prefix.
 type bbReader struct {
 	fs     *BurstFS
 	client netsim.NodeID
@@ -44,7 +45,7 @@ type packet struct {
 	err   bool
 }
 
-// source kinds, in preference order.
+// tried-set keys for the source kinds.
 const (
 	srcLocal       = "local"
 	srcBuffer      = "buffer" // suffixed with the replica server name
@@ -52,30 +53,39 @@ const (
 	srcLustre      = "lustre"
 )
 
-// chooseSource picks the best untried source for the current block; for
-// buffered blocks every live in-buffer replica is a distinct source.
+// chooseSource picks the best untried live source for the current block,
+// walking the kinds in the order the policy's ReadSources returns them;
+// for buffered blocks every live in-buffer replica is a distinct source.
 func (r *bbReader) chooseSource() (string, *BufferServer, error) {
 	b := r.blocks[r.idx]
 	try := func(s string) bool {
 		_, done := r.tried[s]
 		return !done
 	}
-	if try(srcLocal) && b.localNode == r.client && b.localDev != nil && !r.fs.net.Down(b.localNode) {
-		return srcLocal, nil, nil
-	}
-	inBuffer := b.state == stateDirty || b.state == stateFlushing || b.state == stateClean
-	if inBuffer {
-		for _, s := range b.srvs {
-			if !s.failed && try(srcBuffer+":"+s.name) {
-				return srcBuffer + ":" + s.name, s, nil
+	for _, kind := range r.fs.policy.ReadSources(r.fs, b) {
+		switch kind {
+		case SourceLocal:
+			if try(srcLocal) && b.localNode == r.client && b.localDev != nil && !r.fs.net.Down(b.localNode) {
+				return srcLocal, nil, nil
+			}
+		case SourceBuffer:
+			inBuffer := b.state == stateDirty || b.state == stateFlushing || b.state == stateClean
+			if inBuffer {
+				for _, s := range b.srvs {
+					if !s.failed && try(srcBuffer+":"+s.name) {
+						return srcBuffer + ":" + s.name, s, nil
+					}
+				}
+			}
+		case SourceRemoteLocal:
+			if try(srcRemoteLocal) && b.localNode >= 0 && b.localDev != nil && !r.fs.net.Down(b.localNode) {
+				return srcRemoteLocal, nil, nil
+			}
+		case SourceLustre:
+			if try(srcLustre) && b.lustrePath != "" {
+				return srcLustre, nil, nil
 			}
 		}
-	}
-	if try(srcRemoteLocal) && b.localNode >= 0 && b.localDev != nil && !r.fs.net.Down(b.localNode) {
-		return srcRemoteLocal, nil, nil
-	}
-	if try(srcLustre) && b.lustrePath != "" {
-		return srcLustre, nil, nil
 	}
 	return "", nil, fmt.Errorf("%w: block %d of %q (state %v) has no live source",
 		dfs.ErrCorrupt, b.id, r.path, b.state)
@@ -95,15 +105,19 @@ func (r *bbReader) startFetch(p *sim.Proc) error {
 	switch {
 	case src == srcLocal:
 		r.fs.stats.ReadsLocal++
+		r.fs.metrics.Counter("read.src.local").Inc()
 		r.produceLocal(b, out, true)
 	case srv != nil:
 		r.fs.stats.ReadsBuffer++
+		r.fs.metrics.Counter("read.src.buffer").Inc()
 		r.produceBuffer(b, srv, out)
 	case src == srcRemoteLocal:
 		r.fs.stats.ReadsLocal++
+		r.fs.metrics.Counter("read.src.remote-local").Inc()
 		r.produceLocal(b, out, false)
 	default:
 		r.fs.stats.ReadsLustre++
+		r.fs.metrics.Counter("read.src.lustre").Inc()
 		r.produceLustre(b, out)
 		r.fs.maybeReadmit(r.client, b)
 	}

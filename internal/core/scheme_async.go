@@ -1,0 +1,21 @@
+package core
+
+func init() {
+	RegisterPolicy("bb-async", func(Config) Policy { return asyncPolicy{} })
+}
+
+// asyncPolicy is the paper's raw-I/O-performance scheme: every block lands
+// in the KV buffer and is acknowledged immediately; the flusher pool drains
+// it to Lustre in the background. Fastest writes, a loss window until the
+// flush completes, no local storage used.
+type asyncPolicy struct{}
+
+func (asyncPolicy) Name() string { return "bb-async" }
+
+func (asyncPolicy) OnBlockOpen(*BurstFS, *bbBlock) BlockPlan {
+	return BlockPlan{Mode: FlushAsync}
+}
+
+func (asyncPolicy) ReadSources(*BurstFS, *bbBlock) []SourceKind { return DefaultReadOrder() }
+
+func (asyncPolicy) OnEvict(*BurstFS, *bbBlock) {}

@@ -1,0 +1,22 @@
+package core
+
+func init() {
+	RegisterPolicy("bb-locality", func(Config) Policy { return localityPolicy{} })
+}
+
+// localityPolicy is the paper's data-locality scheme: one replica of every
+// block is written to the writer's node-local storage in parallel with the
+// buffer write, so map tasks retain HDFS-style locality; Lustre persistence
+// stays asynchronous. When no local device has room the local tee degrades
+// silently and the block behaves like bb-async.
+type localityPolicy struct{}
+
+func (localityPolicy) Name() string { return "bb-locality" }
+
+func (localityPolicy) OnBlockOpen(*BurstFS, *bbBlock) BlockPlan {
+	return BlockPlan{Mode: FlushAsync, LocalTee: true}
+}
+
+func (localityPolicy) ReadSources(*BurstFS, *bbBlock) []SourceKind { return DefaultReadOrder() }
+
+func (localityPolicy) OnEvict(*BurstFS, *bbBlock) {}

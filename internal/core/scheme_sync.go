@@ -1,0 +1,20 @@
+package core
+
+func init() {
+	RegisterPolicy("bb-sync", func(Config) Policy { return syncPolicy{} })
+}
+
+// syncPolicy is the paper's fault-tolerance scheme: the Lustre write happens
+// before the client's block ack (write-through); the buffer then serves
+// reads as an RDMA cache. Zero loss window, writes bounded by Lustre.
+type syncPolicy struct{}
+
+func (syncPolicy) Name() string { return "bb-sync" }
+
+func (syncPolicy) OnBlockOpen(*BurstFS, *bbBlock) BlockPlan {
+	return BlockPlan{Mode: FlushWriteThrough, LustreTee: true}
+}
+
+func (syncPolicy) ReadSources(*BurstFS, *bbBlock) []SourceKind { return DefaultReadOrder() }
+
+func (syncPolicy) OnEvict(*BurstFS, *bbBlock) {}

@@ -30,6 +30,9 @@ type BufferServer struct {
 	bytes int64
 	// dirtyQueue feeds the server's flusher pool.
 	dirtyQueue *sim.Store[*bbBlock]
+	// deferred holds FlushDeferred blocks parked dirty until a drain,
+	// shutdown, or buffer pressure promotes them into the dirty queue.
+	deferred []*bbBlock
 	// cleanLRU orders clean blocks for explicit eviction (head = oldest).
 	cleanLRU []*bbBlock
 	// resident is the set of blocks whose payload lives on this server.
@@ -195,14 +198,42 @@ func (s *BufferServer) ensureSpace(p *sim.Proc, size int64) error {
 				victim.state = stateEvicted
 			}
 			s.fs.stats.Evictions++
+			s.fs.policy.OnEvict(s.fs, victim)
+			continue
+		}
+		// Nothing clean: parked deferred blocks are the next way to make
+		// room — hand them to the flusher pool before stalling.
+		if len(s.deferred) > 0 {
+			s.promoteDeferred()
 			continue
 		}
 		// Nothing clean: wait for the flusher pool to make progress.
 		s.fs.stats.WriterStalls++
+		start := p.Now()
 		ev := s.flushProgress
 		ev.Wait(p)
+		s.fs.metrics.Histogram("writer.stall.s").Observe((p.Now() - start).Seconds())
 	}
 	return nil
+}
+
+// promoteDeferred moves parked FlushDeferred blocks into the dirty queue,
+// returning how many it promoted. Blocks that were deleted, re-planned, or
+// reassigned away are dropped. Note a promoted block may be handed straight
+// to a blocked flusher (queue length stays 0), so callers polling for
+// progress must treat a non-zero return as in-flight work.
+func (s *BufferServer) promoteDeferred() int {
+	parked := s.deferred
+	s.deferred = nil
+	n := 0
+	for _, b := range parked {
+		if b.deleted || b.state != stateDirty || b.primary() != s {
+			continue
+		}
+		s.dirtyQueue.Put(b)
+		n++
+	}
+	return n
 }
 
 // signalFlushProgress wakes writers stalled in ensureSpace.

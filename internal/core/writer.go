@@ -22,7 +22,9 @@ func (fs *BurstFS) Create(p *sim.Proc, client netsim.NodeID, path string) (dfs.W
 }
 
 // bbWriter streams a file into the burst buffer, block by block, applying
-// the scheme's persistence and locality side channels.
+// the side channels and persistence mode the active policy planned for
+// each block. The writer owns the tee machinery and the flush dispatch; it
+// knows nothing about individual schemes.
 type bbWriter struct {
 	fs     *BurstFS
 	client netsim.NodeID
@@ -33,9 +35,11 @@ type bbWriter struct {
 	itemFill   int64 // bytes accumulated in the current (unissued) item
 	closed     bool
 
-	// Scheme side channels for the current block.
-	lustreTee *blockTee // SchemeSyncLustre: server tees chunks to Lustre
-	localTee  *blockTee // SchemeLocalityAware: local-device replica
+	// plan is the policy's decision for the current block.
+	plan BlockPlan
+	// Side channels for the current block, opened per the plan.
+	lustreTee *blockTee // write-through channel: server tees chunks to Lustre
+	localTee  *blockTee // local-device replica channel
 }
 
 // blockTee forwards chunk sizes to a secondary sink in parallel with the
@@ -57,7 +61,8 @@ func (t *blockTee) finish(p *sim.Proc) error {
 // space on every replica server (admission control at block granularity —
 // a block that starts streaming is guaranteed to finish and become
 // flushable, so writers can never deadlock the buffer with partial
-// blocks), and sets up scheme side channels.
+// blocks), asks the policy for the block's plan, and opens the planned
+// side channels.
 func (w *bbWriter) openBlock(p *sim.Proc) error {
 	rep := w.fs.callMgr(p, w.client, "addBlock", &mgrAddBlockReq{path: w.path, client: w.client})
 	if rep.Err != nil {
@@ -69,6 +74,10 @@ func (w *bbWriter) openBlock(p *sim.Proc) error {
 	if err := w.reserve(p); err != nil {
 		return err
 	}
+	// Count this block as in flight before consulting the policy, so a
+	// traffic-detecting policy sees its own writer's stream as load.
+	w.fs.openBlocks++
+	w.plan = w.fs.policy.OnBlockOpen(w.fs, w.cur)
 	w.startTees(p)
 	return nil
 }
@@ -95,74 +104,91 @@ func (w *bbWriter) reserve(p *sim.Proc) error {
 	return nil
 }
 
-// startTees launches the scheme's secondary sinks for the current block.
+// startTees launches the secondary sinks the policy planned for the
+// current block. The tee machinery is policy-agnostic: a plan only states
+// which channels to open.
 func (w *bbWriter) startTees(p *sim.Proc) {
+	w.lustreTee, w.localTee = nil, nil
+	if w.plan.LustreTee {
+		w.startLustreTee(p)
+	}
+	if w.plan.LocalTee {
+		w.startLocalTee(p)
+	}
+}
+
+// startLustreTee opens the write-through channel: the primary server tees
+// every chunk to a Lustre file in parallel with the buffer write.
+func (w *bbWriter) startLustreTee(p *sim.Proc) {
 	b := w.cur
 	fs := w.fs
-	w.lustreTee, w.localTee = nil, nil
-	switch fs.cfg.Scheme {
-	case SchemeSyncLustre:
-		tee := &blockTee{in: sim.NewBounded[int64](fs.cfg.PrefetchWindow), done: &sim.Event{}}
-		w.lustreTee = tee
-		srvNode := b.primary().node
-		fs.cl.Env.Spawn(fmt.Sprintf("bb.synctee.b%d", b.id), func(q *sim.Proc) {
-			defer tee.done.Trigger()
-			path := fs.blockLustrePath(b)
-			lw, err := fs.backing.Create(q, srvNode, path)
-			if err != nil {
-				tee.err = err
-				drain(q, tee.in)
-				return
-			}
-			for {
-				n, ok := tee.in.Get(q)
-				if !ok {
-					break
-				}
-				if tee.err == nil {
-					if err := lw.Write(q, n); err != nil {
-						tee.err = err
-					}
-				}
-			}
-			if tee.err == nil {
-				tee.err = lw.Close(q)
-			}
-			if tee.err == nil {
-				b.lustrePath = path
-			}
-		})
-	case SchemeLocalityAware:
-		dev := w.pickLocalDevice()
-		if dev == nil {
-			return // no local space: degrade gracefully to the async path
-		}
-		if err := dev.Alloc(fs.cfg.BlockSize); err != nil {
+	tee := &blockTee{in: sim.NewBounded[int64](fs.cfg.PrefetchWindow), done: &sim.Event{}}
+	w.lustreTee = tee
+	srvNode := b.primary().node
+	fs.cl.Env.Spawn(fmt.Sprintf("bb.synctee.b%d", b.id), func(q *sim.Proc) {
+		defer tee.done.Trigger()
+		path := fs.blockLustrePath(b)
+		lw, err := fs.backing.Create(q, srvNode, path)
+		if err != nil {
+			tee.err = err
+			drain(q, tee.in)
 			return
 		}
-		tee := &blockTee{in: sim.NewBounded[int64](fs.cfg.PrefetchWindow), done: &sim.Event{}}
-		w.localTee = tee
-		client := w.client
-		fs.cl.Env.Spawn(fmt.Sprintf("bb.localtee.b%d", b.id), func(q *sim.Proc) {
-			defer tee.done.Trigger()
-			var written int64
-			for {
-				n, ok := tee.in.Get(q)
-				if !ok {
-					break
+		for {
+			n, ok := tee.in.Get(q)
+			if !ok {
+				break
+			}
+			if tee.err == nil {
+				if err := lw.Write(q, n); err != nil {
+					tee.err = err
 				}
-				dev.Write(q, n)
-				written += n
 			}
-			dev.Dealloc(fs.cfg.BlockSize - written)
-			if tee.err == nil && written > 0 {
-				b.localNode = client
-				b.localDev = dev
-			} else {
-				dev.Dealloc(written)
-			}
-		})
+		}
+		if tee.err == nil {
+			tee.err = lw.Close(q)
+		}
+		if tee.err == nil {
+			b.lustrePath = path
+		}
+	})
+}
+
+// startLocalTee opens the locality channel: a replica of the block streams
+// to the writing client's node-local storage. If no local device has room
+// the block degrades gracefully to the plain buffered path.
+func (w *bbWriter) startLocalTee(p *sim.Proc) {
+	b := w.cur
+	fs := w.fs
+	dev := w.pickLocalDevice()
+	if dev == nil {
+		return // no local space: degrade gracefully to the async path
 	}
+	if err := dev.Alloc(fs.cfg.BlockSize); err != nil {
+		return
+	}
+	tee := &blockTee{in: sim.NewBounded[int64](fs.cfg.PrefetchWindow), done: &sim.Event{}}
+	w.localTee = tee
+	client := w.client
+	fs.cl.Env.Spawn(fmt.Sprintf("bb.localtee.b%d", b.id), func(q *sim.Proc) {
+		defer tee.done.Trigger()
+		var written int64
+		for {
+			n, ok := tee.in.Get(q)
+			if !ok {
+				break
+			}
+			dev.Write(q, n)
+			written += n
+		}
+		dev.Dealloc(fs.cfg.BlockSize - written)
+		if tee.err == nil && written > 0 {
+			b.localNode = client
+			b.localDev = dev
+		} else {
+			dev.Dealloc(written)
+		}
+	})
 }
 
 func drain(p *sim.Proc, st *sim.Store[int64]) {
@@ -330,7 +356,8 @@ func (w *bbWriter) retryBlock(p *sim.Proc) error {
 }
 
 // finishBlock seals the current block: flushes the partial item, settles
-// the scheme's side channels, registers occupancy, and commits metadata.
+// the planned side channels, registers occupancy, dispatches the block per
+// the plan's flush mode, and commits metadata.
 func (w *bbWriter) finishBlock(p *sim.Proc) error {
 	fs := w.fs
 	b := w.cur
@@ -352,8 +379,11 @@ func (w *bbWriter) finishBlock(p *sim.Proc) error {
 			s.signalFlushProgress()
 		}
 	}
-	switch fs.cfg.Scheme {
-	case SchemeSyncLustre:
+	if w.localTee != nil {
+		_ = w.localTee.finish(p)
+	}
+	switch w.plan.Mode {
+	case FlushWriteThrough:
 		if err := w.lustreTee.finish(p); err != nil {
 			return fmt.Errorf("core: sync flush failed: %w", err)
 		}
@@ -362,19 +392,17 @@ func (w *bbWriter) finishBlock(p *sim.Proc) error {
 			s.cleanLRU = append(s.cleanLRU, b)
 		}
 		fs.stats.BytesFlushed += b.size
-	case SchemeLocalityAware:
-		if w.localTee != nil {
-			_ = w.localTee.finish(p)
-		}
+	case FlushDeferred:
 		b.state = stateDirty
-		b.primary().dirtyQueue.Put(b)
-	default: // SchemeAsyncLustre
+		b.primary().deferred = append(b.primary().deferred, b)
+	default: // FlushAsync
 		b.state = stateDirty
 		b.primary().dirtyQueue.Put(b)
 	}
 	if rep := fs.callMgr(p, w.client, "commitBlock", &mgrCommitReq{path: w.path, block: b}); rep.Err != nil {
 		return rep.Err
 	}
+	fs.openBlocks--
 	w.cur = nil
 	w.lustreTee, w.localTee = nil, nil
 	return nil
