@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test vet race bench repro tools clean
+.PHONY: all test vet race bench bench-smoke stress repro tools clean
 
 all: test
 
@@ -11,12 +11,26 @@ vet:
 	go vet ./...
 
 # Race-detector pass; the sim kernel runs one process at a time but the
-# harness, mcserver, and CLIs use real goroutines.
+# harness, mcserver, mcclient, and CLIs use real goroutines.
 race:
 	go test -race ./...
 
-bench:
-	go test -bench=. -benchmem -benchtime 1x ./...
+# Full micro-benchmark suite with allocation stats, summarized to
+# BENCH_2.json (KV engine sharding, wire codec, pipelined client).
+bench: tools
+	go test -run '^$$' -bench . -benchmem ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	./bin/benchjson -out BENCH_2.json -note "host: $$(nproc) CPU core(s); parallel benchmarks need a multi-core host to show contention-relief speedups" < bench.out
+	rm -f bench.out
+
+# One-iteration benchmark pass: proves every benchmark still compiles and
+# runs without burning CI time on stable numbers.
+bench-smoke:
+	go test -run '^$$' -bench . -benchmem -benchtime 1x ./...
+
+# Concurrency stress tests under the race detector: sharded engine, TCP
+# server, and pipelined client hammered by colliding goroutines.
+stress:
+	go test -race -run 'Stress|Concurrent|Pipelined' -count 2 ./internal/memcached/... .
 
 # Regenerate every paper figure/table at full scale (EXPERIMENTS.md data).
 repro: tools
@@ -27,6 +41,7 @@ tools:
 	go build -o bin/bbench ./cmd/bbench
 	go build -o bin/bbrun ./cmd/bbrun
 	go build -o bin/memcachedd ./cmd/memcachedd
+	go build -o bin/benchjson ./cmd/benchjson
 
 clean:
 	rm -rf bin

@@ -121,3 +121,24 @@ func BenchmarkTab4Extensions(b *testing.B) { benchExperiment(b, "tab4") }
 // metrics table (flush latency, writer stalls, read sources, adaptive
 // mode split).
 func BenchmarkTab5PolicyMetrics(b *testing.B) { benchExperiment(b, "tab5") }
+
+// benchExperimentSet regenerates a bundle of cheap experiments end to end
+// at a given worker count; comparing the Serial and Parallel variants shows
+// the wall-clock win of the parallel experiment runner (bbench -parallel).
+func benchExperimentSet(b *testing.B, workers int) {
+	defer SetParallelism(1)
+	SetParallelism(workers)
+	for i := 0; i < b.N; i++ {
+		for _, id := range []string{"fig1", "fig2", "fig9"} {
+			e, _ := ExperimentByID(id)
+			_ = e.Run(ScaleSmall)
+		}
+	}
+}
+
+// BenchmarkExperimentsSerial runs the bundle one cell at a time.
+func BenchmarkExperimentsSerial(b *testing.B) { benchExperimentSet(b, 1) }
+
+// BenchmarkExperimentsParallel runs the same bundle with 4 workers; cells
+// are independent seeded simulations, so only wall time changes.
+func BenchmarkExperimentsParallel(b *testing.B) { benchExperimentSet(b, 4) }

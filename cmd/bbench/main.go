@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"hbb"
@@ -27,8 +28,10 @@ func main() {
 		scale    = flag.String("scale", "small", "sizing: 'small' (quick) or 'full' (paper-scale)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		backends = flag.String("backends", "", "comma-separated backends the macro-benchmarks compare (default: the paper's five; registered: "+strings.Join(hbb.BackendNames(), ",")+")")
+		parallel = flag.Int("parallel", 1, "worker goroutines for experiment cells; with -experiment all, whole experiments also run concurrently. Each cell is an independent seeded simulation, so output is identical at any value")
 	)
 	flag.Parse()
+	hbb.SetParallelism(*parallel)
 
 	if *backends != "" {
 		var bs []hbb.Backend
@@ -55,14 +58,51 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bbench: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
-	run := func(e hbb.Experiment) {
+	render := func(e hbb.Experiment) string {
 		start := time.Now()
 		table := e.Run(sc)
-		fmt.Printf("# %s — %s\n# claim: %s\n%s# (generated in %.1fs wall time, scale=%s)\n\n",
+		return fmt.Sprintf("# %s — %s\n# claim: %s\n%s# (generated in %.1fs wall time, scale=%s)\n\n",
 			e.ID, e.Title, e.Claim, table, time.Since(start).Seconds(), sc)
 	}
+	run := func(e hbb.Experiment) { fmt.Print(render(e)) }
 	if *id == "all" {
-		for _, e := range hbb.Experiments() {
+		exps := hbb.Experiments()
+		if *parallel > 1 {
+			// Render whole experiments concurrently, then print in paper
+			// order so the report is identical to a serial run.
+			outputs := make([]string, len(exps))
+			var (
+				mu   sync.Mutex
+				next int
+			)
+			var wg sync.WaitGroup
+			workers := *parallel
+			if workers > len(exps) {
+				workers = len(exps)
+			}
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func() {
+					defer wg.Done()
+					for {
+						mu.Lock()
+						i := next
+						next++
+						mu.Unlock()
+						if i >= len(exps) {
+							return
+						}
+						outputs[i] = render(exps[i])
+					}
+				}()
+			}
+			wg.Wait()
+			for _, out := range outputs {
+				fmt.Print(out)
+			}
+			return
+		}
+		for _, e := range exps {
 			run(e)
 		}
 		return

@@ -173,15 +173,33 @@ func runDFSIOServers(sz sizing, nodes int, total int64, b Backend, bbServers int
 }
 
 // fig3/fig4 share their runs: write and read phases of the same sweep.
+// Each (size × backend) cell is an independent job so parallelFor can
+// spread cells over workers; the result maps are assembled afterwards in
+// deterministic job order.
 func dfsioSweep(scale Scale) map[int64]map[Backend]dfsioRun {
 	sz := sizingFor(scale)
-	out := make(map[int64]map[Backend]dfsioRun)
+	type job struct {
+		total int64
+		b     Backend
+	}
+	var jobs []job
 	for _, total := range sz.dataSizes {
-		row := make(map[Backend]dfsioRun)
 		for _, b := range comparedBackends {
-			row[b] = runDFSIO(sz, sz.nodes, total, b)
+			jobs = append(jobs, job{total, b})
 		}
-		out[total] = row
+	}
+	results := make([]dfsioRun, len(jobs))
+	parallelFor(len(jobs), func(i int) {
+		results[i] = runDFSIO(sz, sz.nodes, jobs[i].total, jobs[i].b)
+	})
+	out := make(map[int64]map[Backend]dfsioRun)
+	for i, j := range jobs {
+		row := out[j.total]
+		if row == nil {
+			row = make(map[Backend]dfsioRun)
+			out[j.total] = row
+		}
+		row[j.b] = results[i]
 	}
 	return out
 }
@@ -229,31 +247,61 @@ func fig5(scale Scale) *metrics.Table {
 	sz := sizingFor(scale)
 	t := metrics.NewTable("fig5: Sort execution time (s)",
 		"data(GB)", "backend", "time(s)", "vs-hdfs", "vs-lustre")
-	for _, total := range sz.sortSizes {
-		times := map[Backend]time.Duration{}
+	jobs := sizeBackendJobs(sz.sortSizes)
+	times := make([]time.Duration, len(jobs))
+	parallelFor(len(jobs), func(i int) {
+		total, b := jobs[i].total, jobs[i].b
+		tb := newBench(sz, sz.nodes)
+		maps := sz.files
+		tb.Run(func(ctx *Ctx) {
+			if _, err := ctx.RandomWriter(b, "/bench/rw", maps, total/int64(maps)); err != nil {
+				return
+			}
+			res, err := ctx.Sort(b, "/bench/rw", "/bench/sorted", sz.nodes*2)
+			if err != nil {
+				return
+			}
+			times[i] = res.Duration
+		})
+	})
+	addTimedRows(t, jobs, times)
+	return t
+}
+
+// sizeBackendJob is one (data size × backend) experiment cell.
+type sizeBackendJob struct {
+	total int64
+	b     Backend
+}
+
+func sizeBackendJobs(sizes []int64) []sizeBackendJob {
+	var jobs []sizeBackendJob
+	for _, total := range sizes {
 		for _, b := range comparedBackends {
-			b := b
-			tb := newBench(sz, sz.nodes)
-			maps := sz.files
-			tb.Run(func(ctx *Ctx) {
-				if _, err := ctx.RandomWriter(b, "/bench/rw", maps, total/int64(maps)); err != nil {
-					return
-				}
-				res, err := ctx.Sort(b, "/bench/rw", "/bench/sorted", sz.nodes*2)
-				if err != nil {
-					return
-				}
-				times[b] = res.Duration
-			})
-		}
-		h := times[BackendHDFS].Seconds()
-		l := times[BackendLustre].Seconds()
-		for _, b := range comparedBackends {
-			s := times[b].Seconds()
-			t.AddRow(fmt.Sprintf("%.0f", gb(total)), b.String(), s, delta(s, h), delta(s, l))
+			jobs = append(jobs, sizeBackendJob{total, b})
 		}
 	}
-	return t
+	return jobs
+}
+
+// addTimedRows emits the shared fig5/fig6 row shape (per-size blocks with
+// time and vs-baseline columns) from per-job durations.
+func addTimedRows(t *metrics.Table, jobs []sizeBackendJob, times []time.Duration) {
+	byCell := make(map[sizeBackendJob]time.Duration, len(jobs))
+	for i, j := range jobs {
+		byCell[j] = times[i]
+	}
+	for i, j := range jobs {
+		if i > 0 && jobs[i-1].total == j.total {
+			continue // one block per size
+		}
+		h := byCell[sizeBackendJob{j.total, BackendHDFS}].Seconds()
+		l := byCell[sizeBackendJob{j.total, BackendLustre}].Seconds()
+		for _, b := range comparedBackends {
+			s := byCell[sizeBackendJob{j.total, b}].Seconds()
+			t.AddRow(fmt.Sprintf("%.0f", gb(j.total)), b.String(), s, delta(s, h), delta(s, l))
+		}
+	}
 }
 
 // delta formats a time saving versus a baseline (negative = faster).
@@ -268,26 +316,20 @@ func fig6(scale Scale) *metrics.Table {
 	sz := sizingFor(scale)
 	t := metrics.NewTable("fig6: RandomWriter execution time (s)",
 		"data(GB)", "backend", "time(s)", "vs-hdfs", "vs-lustre")
-	for _, total := range sz.sortSizes {
-		times := map[Backend]time.Duration{}
-		for _, b := range comparedBackends {
-			b := b
-			tb := newBench(sz, sz.nodes)
-			tb.Run(func(ctx *Ctx) {
-				res, err := ctx.RandomWriter(b, "/bench/rw", sz.files, total/int64(sz.files))
-				if err != nil {
-					return
-				}
-				times[b] = res.Duration
-			})
-		}
-		h := times[BackendHDFS].Seconds()
-		l := times[BackendLustre].Seconds()
-		for _, b := range comparedBackends {
-			s := times[b].Seconds()
-			t.AddRow(fmt.Sprintf("%.0f", gb(total)), b.String(), s, delta(s, h), delta(s, l))
-		}
-	}
+	jobs := sizeBackendJobs(sz.sortSizes)
+	times := make([]time.Duration, len(jobs))
+	parallelFor(len(jobs), func(i int) {
+		total, b := jobs[i].total, jobs[i].b
+		tb := newBench(sz, sz.nodes)
+		tb.Run(func(ctx *Ctx) {
+			res, err := ctx.RandomWriter(b, "/bench/rw", sz.files, total/int64(sz.files))
+			if err != nil {
+				return
+			}
+			times[i] = res.Duration
+		})
+	})
+	addTimedRows(t, jobs, times)
 	return t
 }
 
@@ -295,12 +337,24 @@ func fig7(scale Scale) *metrics.Table {
 	sz := sizingFor(scale)
 	t := metrics.NewTable("fig7: DFSIO throughput vs cluster size (fixed 2 GiB/node, 1 buffer server per 2 nodes)",
 		"nodes", "backend", "write MB/s", "read MB/s")
+	type job struct {
+		nodes int
+		b     Backend
+	}
+	var jobs []job
 	for _, nodes := range sz.scaleNodes {
-		total := int64(nodes) * 2 << 30
 		for _, b := range []Backend{BackendHDFS, BackendLustre, BackendBBAsync} {
-			r := runDFSIOServers(sz, nodes, total, b, nodes/2)
-			t.AddRow(nodes, b.String(), r.writeMBps, r.readMBps)
+			jobs = append(jobs, job{nodes, b})
 		}
+	}
+	results := make([]dfsioRun, len(jobs))
+	parallelFor(len(jobs), func(i int) {
+		j := jobs[i]
+		total := int64(j.nodes) * 2 << 30
+		results[i] = runDFSIOServers(sz, j.nodes, total, j.b, j.nodes/2)
+	})
+	for i, j := range jobs {
+		t.AddRow(j.nodes, j.b.String(), results[i].writeMBps, results[i].readMBps)
 	}
 	return t
 }
@@ -310,9 +364,9 @@ func fig8(scale Scale) *metrics.Table {
 	total := sz.sortSizes[len(sz.sortSizes)-1]
 	t := metrics.NewTable("fig8: I/O-intensive mix makespan (concurrent Scan + DFSIO write)",
 		"backend", "makespan(s)", "vs-hdfs", "vs-lustre")
-	times := map[Backend]time.Duration{}
-	for _, b := range comparedBackends {
-		b := b
+	times := make([]time.Duration, len(comparedBackends))
+	parallelFor(len(comparedBackends), func(i int) {
+		b := comparedBackends[i]
 		tb := newBench(sz, sz.nodes)
 		tb.Run(func(ctx *Ctx) {
 			if _, err := ctx.RandomWriter(b, "/bench/data", sz.files, total/int64(sz.files)); err != nil {
@@ -327,13 +381,17 @@ func fig8(scale Scale) *metrics.Table {
 			})
 			scan.Wait(ctx)
 			write.Wait(ctx)
-			times[b] = ctx.Now() - start
+			times[i] = ctx.Now() - start
 		})
+	})
+	byB := make(map[Backend]time.Duration, len(comparedBackends))
+	for i, b := range comparedBackends {
+		byB[b] = times[i]
 	}
-	h := times[BackendHDFS].Seconds()
-	l := times[BackendLustre].Seconds()
-	for _, b := range comparedBackends {
-		s := times[b].Seconds()
+	h := byB[BackendHDFS].Seconds()
+	l := byB[BackendLustre].Seconds()
+	for i, b := range comparedBackends {
+		s := times[i].Seconds()
 		t.AddRow(b.String(), s, delta(s, h), delta(s, l))
 	}
 	return t
@@ -344,11 +402,16 @@ func fig9(scale Scale) *metrics.Table {
 	total := sz.sortSizes[0]
 	t := metrics.NewTable("fig9: buffer-server crash after write, before read",
 		"scheme", "read-ok", "lost-blocks", "recovered", "read(s)")
-	for _, b := range []Backend{BackendBBAsync, BackendBBLocality, BackendBBSync} {
-		b := b
+	schemes := []Backend{BackendBBAsync, BackendBBLocality, BackendBBSync}
+	type ftResult struct {
+		readOK          bool
+		lost, recovered int64
+		readDur         time.Duration
+	}
+	results := make([]ftResult, len(schemes))
+	parallelFor(len(schemes), func(i int) {
+		b := schemes[i]
 		tb := newBench(sz, sz.nodes)
-		var readOK bool
-		var readDur time.Duration
 		tb.Run(func(ctx *Ctx) {
 			if _, err := ctx.DFSIOWrite(b, "/bench/ft", sz.files, total/int64(sz.files)); err != nil {
 				return
@@ -358,11 +421,15 @@ func fig9(scale Scale) *metrics.Table {
 			ctx.Sleep(3 * time.Second) // recovery window
 			start := ctx.Now()
 			r, err := ctx.DFSIORead(b, "/bench/ft")
-			readDur = ctx.Now() - start
-			readOK = err == nil && r.MapTasks > 0
+			results[i].readDur = ctx.Now() - start
+			results[i].readOK = err == nil && r.MapTasks > 0
 		})
 		st, _ := tb.BurstBufferStats(b)
-		t.AddRow(b.String(), readOK, st.BlocksLost, st.BlocksRecovered, readDur.Seconds())
+		results[i].lost, results[i].recovered = st.BlocksLost, st.BlocksRecovered
+	})
+	for i, b := range schemes {
+		r := results[i]
+		t.AddRow(b.String(), r.readOK, r.lost, r.recovered, r.readDur.Seconds())
 	}
 	return t
 }
@@ -372,17 +439,20 @@ func tab1(scale Scale) *metrics.Table {
 	total := sz.dataSizes[0]
 	t := metrics.NewTable(fmt.Sprintf("tab1: compute-node local storage used after writing %.0f GB (and flushing)", gb(total)),
 		"backend", "local-bytes(GB)", "of-dataset", "note")
-	for _, b := range comparedBackends {
-		b := b
+	usedBy := make([]int64, len(comparedBackends))
+	parallelFor(len(comparedBackends), func(i int) {
+		b := comparedBackends[i]
 		tb := newBench(sz, sz.nodes)
-		var used int64
 		tb.Run(func(ctx *Ctx) {
 			if _, err := ctx.DFSIOWrite(b, "/bench/ls", sz.files, total/int64(sz.files)); err != nil {
 				return
 			}
 			ctx.DrainBurstBuffer(b)
-			used = tb.LocalStorageUsed()
+			usedBy[i] = tb.LocalStorageUsed()
 		})
+	})
+	for i, b := range comparedBackends {
+		used := usedBy[i]
 		note := ""
 		switch b {
 		case BackendHDFS:
@@ -408,26 +478,42 @@ func tab2(scale Scale) *metrics.Table {
 	if scale == ScaleSmall {
 		mems = []int64{1 << 30, 4 << 30}
 	}
+	type job struct {
+		flushers int
+		mem      int64
+	}
+	var jobs []job
 	for _, flushers := range []int{1, 4, 16} {
 		for _, mem := range mems {
-			tb, err := New(Options{
-				Nodes: sz.nodes, Seed: 1, ChunkSize: sz.chunk,
-				BBFlushers: flushers, BBServerMemory: mem,
-			})
-			if err != nil {
-				panic(err)
-			}
-			var mbps float64
-			tb.Run(func(ctx *Ctx) {
-				w, err := ctx.DFSIOWrite(BackendBBAsync, "/bench/abl", sz.files, total/int64(sz.files))
-				if err != nil {
-					return
-				}
-				mbps = w.AggregateMBps()
-			})
-			st, _ := tb.BurstBufferStats(BackendBBAsync)
-			t.AddRow(flushers, mem>>30, mbps, st.WriterStalls, st.Evictions)
+			jobs = append(jobs, job{flushers, mem})
 		}
+	}
+	type ablResult struct {
+		mbps           float64
+		stalls, evicts int64
+	}
+	results := make([]ablResult, len(jobs))
+	parallelFor(len(jobs), func(i int) {
+		j := jobs[i]
+		tb, err := New(Options{
+			Nodes: sz.nodes, Seed: 1, ChunkSize: sz.chunk,
+			BBFlushers: j.flushers, BBServerMemory: j.mem,
+		})
+		if err != nil {
+			panic(err)
+		}
+		tb.Run(func(ctx *Ctx) {
+			w, err := ctx.DFSIOWrite(BackendBBAsync, "/bench/abl", sz.files, total/int64(sz.files))
+			if err != nil {
+				return
+			}
+			results[i].mbps = w.AggregateMBps()
+		})
+		st, _ := tb.BurstBufferStats(BackendBBAsync)
+		results[i].stalls, results[i].evicts = st.WriterStalls, st.Evictions
+	})
+	for i, j := range jobs {
+		t.AddRow(j.flushers, j.mem>>30, results[i].mbps, results[i].stalls, results[i].evicts)
 	}
 	return t
 }
@@ -437,25 +523,36 @@ func tab3(scale Scale) *metrics.Table {
 	total := sz.dataSizes[0]
 	t := metrics.NewTable(fmt.Sprintf("tab3: Lustre sensitivity, %.0f GB DFSIO write", gb(total)),
 		"stripe-count", "transport", "write MB/s")
+	type job struct {
+		stripes int
+		tr      Transport
+	}
+	var jobs []job
 	for _, stripes := range []int{1, 2, 4, 8} {
 		for _, tr := range []Transport{TransportRDMA, TransportIPoIB} {
-			tb, err := New(Options{
-				Nodes: sz.nodes, Seed: 1, ChunkSize: sz.chunk,
-				Transport: tr, LustreStripeCount: stripes,
-			})
-			if err != nil {
-				panic(err)
-			}
-			var mbps float64
-			tb.Run(func(ctx *Ctx) {
-				w, err := ctx.DFSIOWrite(BackendLustre, "/bench/str", sz.files, total/int64(sz.files))
-				if err != nil {
-					return
-				}
-				mbps = w.AggregateMBps()
-			})
-			t.AddRow(stripes, string(tr), mbps)
+			jobs = append(jobs, job{stripes, tr})
 		}
+	}
+	mbps := make([]float64, len(jobs))
+	parallelFor(len(jobs), func(i int) {
+		j := jobs[i]
+		tb, err := New(Options{
+			Nodes: sz.nodes, Seed: 1, ChunkSize: sz.chunk,
+			Transport: j.tr, LustreStripeCount: j.stripes,
+		})
+		if err != nil {
+			panic(err)
+		}
+		tb.Run(func(ctx *Ctx) {
+			w, err := ctx.DFSIOWrite(BackendLustre, "/bench/str", sz.files, total/int64(sz.files))
+			if err != nil {
+				return
+			}
+			mbps[i] = w.AggregateMBps()
+		})
+	})
+	for i, j := range jobs {
+		t.AddRow(j.stripes, string(j.tr), mbps[i])
 	}
 	return t
 }
@@ -468,9 +565,21 @@ func fig1(Scale) *metrics.Table {
 	t := metrics.NewTable("fig1: memcached op latency (µs)",
 		"value", "transport", "set(µs)", "get(µs)")
 	sizes := []int64{1, 64, 1 << 10, 16 << 10, 256 << 10, 1 << 20}
+	type job struct {
+		size int64
+		prof netsim.Profile
+	}
+	var jobs []job
 	for _, size := range sizes {
 		for _, prof := range []netsim.Profile{netsim.RDMA, netsim.IPoIB, netsim.TenGigE} {
-			size, prof := size, prof
+			jobs = append(jobs, job{size, prof})
+		}
+	}
+	type latResult struct{ setT, getT time.Duration }
+	results := make([]latResult, len(jobs))
+	parallelFor(len(jobs), func(idx int) {
+		size, prof := jobs[idx].size, jobs[idx].prof
+		{
 			env := sim.New(1)
 			nw := netsim.New(env, prof, 2)
 			eng := memcached.NewEngine(memcached.Config{MemLimit: 64 << 20, MaxItemSize: 2 << 20})
@@ -486,25 +595,27 @@ func fig1(Scale) *metrics.Table {
 				}
 			})
 			const ops = 50
-			var setT, getT time.Duration
 			env.Spawn("client", func(p *sim.Proc) {
 				start := p.Now()
 				for i := 0; i < ops; i++ {
 					_ = nw.RDMAWrite(p, 0, 1, size)
 					nw.Call(p, &netsim.Msg{From: 0, To: 1, Service: "kv", Op: "set", Size: 64, Payload: fmt.Sprintf("k%d", i)})
 				}
-				setT = p.Now() - start
+				results[idx].setT = p.Now() - start
 				start = p.Now()
 				for i := 0; i < ops; i++ {
 					nw.Call(p, &netsim.Msg{From: 0, To: 1, Service: "kv", Op: "get", Size: 64, Payload: fmt.Sprintf("k%d", i)})
 					_ = nw.RDMARead(p, 0, 1, size)
 				}
-				getT = p.Now() - start
+				results[idx].getT = p.Now() - start
 			})
 			env.Run()
-			t.AddRow(byteLabel(size), prof.Name,
-				float64(setT.Microseconds())/ops, float64(getT.Microseconds())/ops)
 		}
+	})
+	const ops = 50
+	for i, j := range jobs {
+		t.AddRow(byteLabel(j.size), j.prof.Name,
+			float64(results[i].setT.Microseconds())/ops, float64(results[i].getT.Microseconds())/ops)
 	}
 	return t
 }
@@ -517,8 +628,11 @@ func fig2(Scale) *metrics.Table {
 	const servers = 4
 	const valSize = 4 << 10
 	const opsPerClient = 400
-	for _, clients := range []int{1, 2, 4, 8, 16, 32, 64} {
-		clients := clients
+	clientCounts := []int{1, 2, 4, 8, 16, 32, 64}
+	type tpResult struct{ kops, mbps float64 }
+	results := make([]tpResult, len(clientCounts))
+	parallelFor(len(clientCounts), func(idx int) {
+		clients := clientCounts[idx]
 		env := sim.New(1)
 		nw := netsim.New(env, netsim.RDMA, clients+servers)
 		ring := hashring.New(0)
@@ -548,7 +662,10 @@ func fig2(Scale) *metrics.Table {
 		}
 		dur := env.Run()
 		totalOps := float64(clients * opsPerClient)
-		t.AddRow(clients, totalOps/dur.Seconds()/1e3, totalOps*valSize/1e6/dur.Seconds())
+		results[idx] = tpResult{totalOps / dur.Seconds() / 1e3, totalOps * valSize / 1e6 / dur.Seconds()}
+	})
+	for i, clients := range clientCounts {
+		t.AddRow(clients, results[i].kops, results[i].mbps)
 	}
 	return t
 }
@@ -585,29 +702,44 @@ func fig10(scale Scale) *metrics.Table {
 	// sweep one size inside the wall and one beyond it.
 	hdfsCap := int64(sz.nodes) * 12 * (1 << 30) / 3
 	sizes := []int64{hdfsCap / 2, hdfsCap + hdfsCap/4}
+	type job struct {
+		total int64
+		b     Backend
+	}
+	var jobs []job
 	for _, total := range sizes {
 		for _, b := range []Backend{BackendHDFS, BackendBBAsync} {
-			tb, err := New(Options{
-				Nodes: sz.nodes, Seed: 1, ChunkSize: sz.chunk,
-				Hardware: HardwareDiskless,
-			})
-			if err != nil {
-				panic(err)
-			}
-			files := sz.files
-			var mbps float64
-			outcome := "ok"
-			tb.Run(func(ctx *Ctx) {
-				res, err := ctx.DFSIOWrite(b, "/bench/dl", files, total/int64(files))
-				if err != nil {
-					outcome = "FAILS (no space)"
-					return
-				}
-				mbps = res.AggregateMBps()
-				ctx.DrainBurstBuffer(b)
-			})
-			t.AddRow(fmt.Sprintf("%.0f", gb(total)), b.String(), outcome, mbps)
+			jobs = append(jobs, job{total, b})
 		}
+	}
+	type dlResult struct {
+		outcome string
+		mbps    float64
+	}
+	results := make([]dlResult, len(jobs))
+	parallelFor(len(jobs), func(i int) {
+		j := jobs[i]
+		tb, err := New(Options{
+			Nodes: sz.nodes, Seed: 1, ChunkSize: sz.chunk,
+			Hardware: HardwareDiskless,
+		})
+		if err != nil {
+			panic(err)
+		}
+		files := sz.files
+		results[i].outcome = "ok"
+		tb.Run(func(ctx *Ctx) {
+			res, err := ctx.DFSIOWrite(j.b, "/bench/dl", files, j.total/int64(files))
+			if err != nil {
+				results[i].outcome = "FAILS (no space)"
+				return
+			}
+			results[i].mbps = res.AggregateMBps()
+			ctx.DrainBurstBuffer(j.b)
+		})
+	})
+	for i, j := range jobs {
+		t.AddRow(fmt.Sprintf("%.0f", gb(j.total)), j.b.String(), results[i].outcome, results[i].mbps)
 	}
 	return t
 }
@@ -624,38 +756,51 @@ func tab5(scale Scale) *metrics.Table {
 		"flushes", "flush-mean(ms)", "flush-p99(ms)",
 		"stalls", "stall-mean(ms)",
 		"reads l/b/rl/lu", "adaptive wt/async")
-	for _, b := range []Backend{BackendBBAsync, BackendBBLocality, BackendBBSync, BackendBBAdaptive} {
-		b := b
+	schemes := []Backend{BackendBBAsync, BackendBBLocality, BackendBBSync, BackendBBAdaptive}
+	type metRow struct {
+		wMBps, rMBps        float64
+		flushN, stallN      int64
+		flushMean, flushP99 float64
+		stallMean           float64
+		srcs, modes         string
+	}
+	rows := make([]metRow, len(schemes))
+	parallelFor(len(schemes), func(i int) {
+		b := schemes[i]
 		tb := newBench(sz, sz.nodes)
-		var wMBps, rMBps float64
 		tb.Run(func(ctx *Ctx) {
 			w, err := ctx.DFSIOWrite(b, "/bench/met", sz.files, total/int64(sz.files))
 			if err != nil {
 				return
 			}
-			wMBps = w.AggregateMBps()
+			rows[i].wMBps = w.AggregateMBps()
 			if r, err := ctx.DFSIORead(b, "/bench/met"); err == nil {
-				rMBps = r.AggregateMBps()
+				rows[i].rMBps = r.AggregateMBps()
 			}
 			ctx.DrainBurstBuffer(b)
 		})
 		reg, _ := tb.BurstBufferMetrics(b)
 		flush := reg.Histogram("flush.latency.s")
 		stall := reg.Histogram("writer.stall.s")
-		srcs := fmt.Sprintf("%d/%d/%d/%d",
+		rows[i].flushN, rows[i].flushMean, rows[i].flushP99 = flush.Count(), flush.Mean()*1e3, flush.Quantile(0.99)*1e3
+		rows[i].stallN, rows[i].stallMean = stall.Count(), stall.Mean()*1e3
+		rows[i].srcs = fmt.Sprintf("%d/%d/%d/%d",
 			reg.Counter("read.src.local").Value(),
 			reg.Counter("read.src.buffer").Value(),
 			reg.Counter("read.src.remote-local").Value(),
 			reg.Counter("read.src.lustre").Value())
-		modes := "-"
+		rows[i].modes = "-"
 		if b == BackendBBAdaptive {
-			modes = fmt.Sprintf("%d/%d",
+			rows[i].modes = fmt.Sprintf("%d/%d",
 				reg.Counter("adaptive.blocks.writethrough").Value(),
 				reg.Counter("adaptive.blocks.async").Value())
 		}
-		t.AddRow(b.String(), wMBps, rMBps,
-			flush.Count(), flush.Mean()*1e3, flush.Quantile(0.99)*1e3,
-			stall.Count(), stall.Mean()*1e3, srcs, modes)
+	})
+	for i, b := range schemes {
+		r := rows[i]
+		t.AddRow(b.String(), r.wMBps, r.rMBps,
+			r.flushN, r.flushMean, r.flushP99,
+			r.stallN, r.stallMean, r.srcs, r.modes)
 	}
 	return t
 }
@@ -667,7 +812,7 @@ func tab4(scale Scale) *metrics.Table {
 	total := sz.sortSizes[0]
 	t := metrics.NewTable("tab4: extensions (bb-async)",
 		"config", "write MB/s", "lost-after-crash", "cold-read MB/s", "warm-read MB/s")
-	for _, cfg := range []struct {
+	cfgs := []struct {
 		label    string
 		replicas int
 		readmit  bool
@@ -675,7 +820,15 @@ func tab4(scale Scale) *metrics.Table {
 		{"baseline", 1, false},
 		{"replicas=2", 2, false},
 		{"readmit", 1, true},
-	} {
+	}
+	type extResult struct {
+		writeMBps          float64
+		lost               int64
+		coldMBps, warmMBps float64
+	}
+	results := make([]extResult, len(cfgs))
+	parallelFor(len(cfgs), func(i int) {
+		cfg := cfgs[i]
 		// Run A — durability: crash one server right after the writes ack.
 		tbA, err := New(Options{
 			Nodes: sz.nodes, Seed: 1, ChunkSize: sz.chunk,
@@ -685,16 +838,16 @@ func tab4(scale Scale) *metrics.Table {
 		if err != nil {
 			panic(err)
 		}
-		var writeMBps float64
 		tbA.Run(func(ctx *Ctx) {
 			w, err := ctx.DFSIOWrite(BackendBBAsync, "/bench/ext", sz.files, total/int64(sz.files))
 			if err != nil {
 				return
 			}
-			writeMBps = w.AggregateMBps()
+			results[i].writeMBps = w.AggregateMBps()
 			ctx.FailBufferServer(BackendBBAsync, 0)
 		})
 		stA, _ := tbA.BurstBufferStats(BackendBBAsync)
+		results[i].lost = stA.BlocksLost
 
 		// Run B — re-reads: write dataset A, then a larger dataset B that
 		// evicts A, then delete B. The first re-read of A is cold (Lustre);
@@ -707,7 +860,6 @@ func tab4(scale Scale) *metrics.Table {
 		if err != nil {
 			panic(err)
 		}
-		var coldMBps, warmMBps float64
 		tbB.Run(func(ctx *Ctx) {
 			if _, err := ctx.DFSIOWrite(BackendBBAsync, "/bench/a", sz.files, total/2/int64(sz.files)); err != nil {
 				return
@@ -719,14 +871,17 @@ func tab4(scale Scale) *metrics.Table {
 			ctx.DrainBurstBuffer(BackendBBAsync)
 			ctx.Cleanup(BackendBBAsync, "/bench/b")
 			if r, err := ctx.DFSIORead(BackendBBAsync, "/bench/a"); err == nil {
-				coldMBps = r.AggregateMBps()
+				results[i].coldMBps = r.AggregateMBps()
 			}
 			ctx.Sleep(2 * time.Second) // let re-admission fills land
 			if r, err := ctx.DFSIORead(BackendBBAsync, "/bench/a"); err == nil {
-				warmMBps = r.AggregateMBps()
+				results[i].warmMBps = r.AggregateMBps()
 			}
 		})
-		t.AddRow(cfg.label, writeMBps, stA.BlocksLost, coldMBps, warmMBps)
+	})
+	for i, cfg := range cfgs {
+		r := results[i]
+		t.AddRow(cfg.label, r.writeMBps, r.lost, r.coldMBps, r.warmMBps)
 	}
 	return t
 }

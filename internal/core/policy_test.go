@@ -42,8 +42,10 @@ func init() {
 
 type lustreFirstPolicy struct{}
 
-func (lustreFirstPolicy) Name() string                           { return "test-lustre-first" }
-func (lustreFirstPolicy) OnBlockOpen(*BurstFS, *bbBlock) BlockPlan { return BlockPlan{Mode: FlushAsync} }
+func (lustreFirstPolicy) Name() string { return "test-lustre-first" }
+func (lustreFirstPolicy) OnBlockOpen(*BurstFS, *bbBlock) BlockPlan {
+	return BlockPlan{Mode: FlushAsync}
+}
 func (lustreFirstPolicy) ReadSources(*BurstFS, *bbBlock) []SourceKind {
 	return []SourceKind{SourceLustre, SourceRemoteLocal, SourceBuffer, SourceLocal}
 }

@@ -122,6 +122,22 @@ func (r *Ring) GetN(key string, n int) []string {
 	return out
 }
 
+// Group partitions keys by owning node, preserving input order within each
+// node's slice. It is the batching front-end for multi-get fan-out: group
+// once, then issue one GetMulti per server instead of a round-trip per key.
+// An empty ring returns nil.
+func (r *Ring) Group(keys []string) map[string][]string {
+	if len(r.points) == 0 || len(keys) == 0 {
+		return nil
+	}
+	out := make(map[string][]string, len(r.nodes))
+	for _, k := range keys {
+		node := r.points[r.search(hashOf(k))].node
+		out[node] = append(out[node], k)
+	}
+	return out
+}
+
 // search finds the index of the first point with hash >= h (wrapping).
 func (r *Ring) search(h uint64) int {
 	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })

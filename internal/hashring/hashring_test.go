@@ -182,3 +182,46 @@ func TestPropertyRemoveAddRestores(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestGroup(t *testing.T) {
+	r := New(64)
+	for _, n := range []string{"s1", "s2", "s3"} {
+		r.Add(n)
+	}
+	var keys []string
+	for i := 0; i < 300; i++ {
+		keys = append(keys, fmt.Sprintf("block-%d", i))
+	}
+	groups := r.Group(keys)
+	// Every key lands in exactly one group, on the node Get reports.
+	total := 0
+	for node, ks := range groups {
+		total += len(ks)
+		for _, k := range ks {
+			if owner := r.Get(k); owner != node {
+				t.Fatalf("key %s grouped under %s but owned by %s", k, node, owner)
+			}
+		}
+	}
+	if total != len(keys) {
+		t.Fatalf("grouped %d keys, want %d", total, len(keys))
+	}
+	// Input order must be preserved within each group.
+	for node, ks := range groups {
+		pos := -1
+		for _, k := range ks {
+			var idx int
+			fmt.Sscanf(k, "block-%d", &idx)
+			if idx <= pos {
+				t.Fatalf("group %s not in input order: %v", node, ks)
+			}
+			pos = idx
+		}
+	}
+	if g := New(8).Group(keys); g != nil {
+		t.Errorf("empty ring Group = %v, want nil", g)
+	}
+	if g := r.Group(nil); g != nil {
+		t.Errorf("Group(nil) = %v, want nil", g)
+	}
+}

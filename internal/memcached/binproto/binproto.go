@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"sync"
 )
 
 // Magic bytes.
@@ -32,11 +34,18 @@ const (
 	OpDecrement Opcode = 0x06
 	OpQuit      Opcode = 0x07
 	OpFlush     Opcode = 0x08
+	OpGetQ      Opcode = 0x09
 	OpNoop      Opcode = 0x0a
 	OpVersion   Opcode = 0x0b
 	OpStat      Opcode = 0x10
+	OpSetQ      Opcode = 0x11
 	OpTouch     Opcode = 0x1c
 )
+
+// Quiet reports whether the opcode is a quiet variant: the server stays
+// silent on GETQ misses and SETQ successes, so clients batch runs of quiet
+// ops and collect what did answer behind a trailing NOOP.
+func (o Opcode) Quiet() bool { return o == OpGetQ || o == OpSetQ }
 
 // String returns the opcode mnemonic.
 func (o Opcode) String() string {
@@ -59,6 +68,10 @@ func (o Opcode) String() string {
 		return "QUIT"
 	case OpFlush:
 		return "FLUSH"
+	case OpGetQ:
+		return "GETQ"
+	case OpSetQ:
+		return "SETQ"
 	case OpNoop:
 		return "NOOP"
 	case OpVersion:
@@ -120,11 +133,26 @@ const HeaderSize = 24
 // MaxBody caps a frame body to guard against corrupt length fields.
 const MaxBody = 64 << 20
 
+// MaxKeyLen caps a key, matching memcached's 250-byte limit. The wire
+// format would allow 64 KiB, but accepting that lets one malformed header
+// drive outsized allocations, so both Read and Write reject beyond the cap.
+const MaxKeyLen = 250
+
+// MaxExtrasLen caps the extras section. The longest extras any defined
+// opcode carries is the 20-byte INCR/DECR block.
+const MaxExtrasLen = 20
+
 // ErrBadMagic reports a frame that does not start with a known magic byte.
 var ErrBadMagic = errors.New("binproto: bad magic byte")
 
 // ErrFrameTooLarge reports a body length beyond MaxBody.
 var ErrFrameTooLarge = errors.New("binproto: frame body too large")
+
+// ErrKeyTooLong reports a key length beyond MaxKeyLen.
+var ErrKeyTooLong = errors.New("binproto: key too long")
+
+// ErrExtrasTooLong reports an extras length beyond MaxExtrasLen.
+var ErrExtrasTooLong = errors.New("binproto: extras too long")
 
 // Frame is a decoded request or response.
 type Frame struct {
@@ -141,18 +169,24 @@ type Frame struct {
 // Request reports whether the frame is a request.
 func (f *Frame) Request() bool { return f.Magic == MagicRequest }
 
-// Write encodes the frame to w.
-func Write(w io.Writer, f *Frame) error {
-	if len(f.Key) > 0xffff {
-		return fmt.Errorf("binproto: key too long (%d)", len(f.Key))
+// validate checks the outbound frame's section lengths.
+func (f *Frame) validate() error {
+	if len(f.Key) > MaxKeyLen {
+		return fmt.Errorf("%w (%d > %d)", ErrKeyTooLong, len(f.Key), MaxKeyLen)
 	}
-	if len(f.Extras) > 0xff {
-		return fmt.Errorf("binproto: extras too long (%d)", len(f.Extras))
+	if len(f.Extras) > MaxExtrasLen {
+		return fmt.Errorf("%w (%d > %d)", ErrExtrasTooLong, len(f.Extras), MaxExtrasLen)
 	}
-	body := len(f.Extras) + len(f.Key) + len(f.Value)
-	if body > MaxBody {
+	if len(f.Extras)+len(f.Key)+len(f.Value) > MaxBody {
 		return ErrFrameTooLarge
 	}
+	return nil
+}
+
+// appendHeader appends the 24-byte header followed by extras and key —
+// everything except the value — to dst.
+func appendHeader(dst []byte, f *Frame) []byte {
+	body := len(f.Extras) + len(f.Key) + len(f.Value)
 	var h [HeaderSize]byte
 	h[0] = f.Magic
 	h[1] = uint8(f.Op)
@@ -163,27 +197,75 @@ func Write(w io.Writer, f *Frame) error {
 	binary.BigEndian.PutUint32(h[8:12], uint32(body))
 	binary.BigEndian.PutUint32(h[12:16], f.Opaque)
 	binary.BigEndian.PutUint64(h[16:24], f.CAS)
-	if _, err := w.Write(h[:]); err != nil {
-		return err
-	}
-	for _, part := range [][]byte{f.Extras, f.Key, f.Value} {
-		if len(part) == 0 {
-			continue
-		}
-		if _, err := w.Write(part); err != nil {
-			return err
-		}
-	}
-	return nil
+	dst = append(dst, h[:]...)
+	dst = append(dst, f.Extras...)
+	return append(dst, f.Key...)
 }
 
-// Read decodes one frame from r.
-func Read(r io.Reader) (*Frame, error) {
-	var h [HeaderSize]byte
-	if _, err := io.ReadFull(r, h[:]); err != nil {
-		return nil, err
+// AppendFrame appends the complete wire encoding of f to dst and returns
+// the extended slice. It allocates only when dst lacks capacity.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	if err := f.validate(); err != nil {
+		return dst, err
 	}
-	f := &Frame{
+	dst = appendHeader(dst, f)
+	return append(dst, f.Value...), nil
+}
+
+// inlineValue is the largest value gathered into the scratch buffer for a
+// single Write call; larger values go out as a vectored (prefix, value)
+// pair instead of being copied.
+const inlineValue = 4 << 10
+
+// scratchPool recycles encode buffers sized for a full small frame.
+var scratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, HeaderSize+MaxExtrasLen+MaxKeyLen+inlineValue)
+		return &b
+	},
+}
+
+// Write encodes the frame to w. Small frames (value <= 4 KiB) are gathered
+// into one pooled buffer and issued as a single Write; larger frames send
+// the pooled header+extras+key prefix and the value as one vectored write
+// (writev when w is a net.Conn), so the value bytes are never copied.
+func Write(w io.Writer, f *Frame) error {
+	if err := f.validate(); err != nil {
+		return err
+	}
+	sp := scratchPool.Get().(*[]byte)
+	buf := appendHeader((*sp)[:0], f)
+	var err error
+	if len(f.Value) <= inlineValue {
+		buf = append(buf, f.Value...)
+		_, err = w.Write(buf)
+	} else {
+		bufs := net.Buffers{buf, f.Value}
+		_, err = bufs.WriteTo(w)
+	}
+	*sp = buf[:0]
+	scratchPool.Put(sp)
+	return err
+}
+
+// ReadFrame decodes one frame from r into f, using buf as body storage and
+// returning the (possibly grown) buffer for reuse. On success f's Extras,
+// Key, and Value alias the returned buffer, so they are valid only until
+// the next ReadFrame call that reuses it; callers that retain frame bytes
+// must copy them out (mcserver's engine store path does).
+func ReadFrame(r io.Reader, f *Frame, buf []byte) ([]byte, error) {
+	// The header is staged in the reusable buffer too (not a stack array,
+	// which would escape through io.ReadFull and cost an allocation per
+	// frame); every header field is decoded into f before the body read
+	// overwrites it.
+	if cap(buf) < HeaderSize {
+		buf = make([]byte, HeaderSize, 512)
+	}
+	h := buf[:HeaderSize]
+	if _, err := io.ReadFull(r, h); err != nil {
+		return buf, err
+	}
+	*f = Frame{
 		Magic:  h[0],
 		Op:     Opcode(h[1]),
 		Status: Status(binary.BigEndian.Uint16(h[6:8])),
@@ -191,33 +273,58 @@ func Read(r io.Reader) (*Frame, error) {
 		CAS:    binary.BigEndian.Uint64(h[16:24]),
 	}
 	if f.Magic != MagicRequest && f.Magic != MagicResponse {
-		return nil, fmt.Errorf("%w: 0x%02x", ErrBadMagic, f.Magic)
+		return buf, fmt.Errorf("%w: 0x%02x", ErrBadMagic, f.Magic)
 	}
 	keyLen := int(binary.BigEndian.Uint16(h[2:4]))
 	extLen := int(h[4])
 	bodyLen := int(binary.BigEndian.Uint32(h[8:12]))
-	if bodyLen > MaxBody {
-		return nil, ErrFrameTooLarge
+	switch {
+	case bodyLen > MaxBody:
+		return buf, ErrFrameTooLarge
+	case keyLen > MaxKeyLen:
+		return buf, fmt.Errorf("%w (%d > %d)", ErrKeyTooLong, keyLen, MaxKeyLen)
+	case extLen > MaxExtrasLen:
+		return buf, fmt.Errorf("%w (%d > %d)", ErrExtrasTooLong, extLen, MaxExtrasLen)
+	case bodyLen < keyLen+extLen:
+		return buf, fmt.Errorf("binproto: body %d shorter than key %d + extras %d", bodyLen, keyLen, extLen)
 	}
-	if bodyLen < keyLen+extLen {
-		return nil, fmt.Errorf("binproto: body %d shorter than key %d + extras %d", bodyLen, keyLen, extLen)
+	if cap(buf) < bodyLen {
+		buf = make([]byte, bodyLen)
+	} else {
+		buf = buf[:bodyLen]
 	}
-	body := make([]byte, bodyLen)
-	if _, err := io.ReadFull(r, body); err != nil {
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf, err
+	}
+	f.Extras = buf[:extLen]
+	f.Key = buf[extLen : extLen+keyLen]
+	f.Value = buf[extLen+keyLen : bodyLen]
+	return buf, nil
+}
+
+// Read decodes one frame from r. The returned frame owns its body bytes;
+// the hot paths use ReadFrame with a reused buffer instead.
+func Read(r io.Reader) (*Frame, error) {
+	f := &Frame{}
+	if _, err := ReadFrame(r, f, nil); err != nil {
 		return nil, err
 	}
-	f.Extras = body[:extLen]
-	f.Key = body[extLen : extLen+keyLen]
-	f.Value = body[extLen+keyLen:]
 	return f, nil
+}
+
+// AppendSetExtras appends the flags+expiry extras of SET/ADD/REPLACE to b.
+// The Append* codecs let callers reuse a per-connection scratch buffer
+// instead of allocating the 8/4/20-byte extras on every op.
+func AppendSetExtras(b []byte, flags uint32, expiry uint32) []byte {
+	var e [8]byte
+	binary.BigEndian.PutUint32(e[0:4], flags)
+	binary.BigEndian.PutUint32(e[4:8], expiry)
+	return append(b, e[:]...)
 }
 
 // SetExtras packs the flags+expiry extras of SET/ADD/REPLACE.
 func SetExtras(flags uint32, expiry uint32) []byte {
-	b := make([]byte, 8)
-	binary.BigEndian.PutUint32(b[0:4], flags)
-	binary.BigEndian.PutUint32(b[4:8], expiry)
-	return b
+	return AppendSetExtras(make([]byte, 0, 8), flags, expiry)
 }
 
 // ParseSetExtras unpacks SET/ADD/REPLACE extras.
@@ -228,11 +335,16 @@ func ParseSetExtras(extras []byte) (flags, expiry uint32, err error) {
 	return binary.BigEndian.Uint32(extras[0:4]), binary.BigEndian.Uint32(extras[4:8]), nil
 }
 
+// AppendGetExtras appends the flags extras of a GET response to b.
+func AppendGetExtras(b []byte, flags uint32) []byte {
+	var e [4]byte
+	binary.BigEndian.PutUint32(e[:], flags)
+	return append(b, e[:]...)
+}
+
 // GetExtras packs the flags extras of a GET response.
 func GetExtras(flags uint32) []byte {
-	b := make([]byte, 4)
-	binary.BigEndian.PutUint32(b, flags)
-	return b
+	return AppendGetExtras(make([]byte, 0, 4), flags)
 }
 
 // ParseGetExtras unpacks a GET response's extras.
@@ -243,14 +355,20 @@ func ParseGetExtras(extras []byte) (flags uint32, err error) {
 	return binary.BigEndian.Uint32(extras), nil
 }
 
+// AppendCounterExtras appends the delta+initial+expiry extras of INCR/DECR
+// to b.
+func AppendCounterExtras(b []byte, delta, initial uint64, expiry uint32) []byte {
+	var e [20]byte
+	binary.BigEndian.PutUint64(e[0:8], delta)
+	binary.BigEndian.PutUint64(e[8:16], initial)
+	binary.BigEndian.PutUint32(e[16:20], expiry)
+	return append(b, e[:]...)
+}
+
 // CounterExtras packs the delta+initial+expiry extras of INCR/DECR.
 // expiry 0xffffffff means "fail if absent" per the protocol.
 func CounterExtras(delta, initial uint64, expiry uint32) []byte {
-	b := make([]byte, 20)
-	binary.BigEndian.PutUint64(b[0:8], delta)
-	binary.BigEndian.PutUint64(b[8:16], initial)
-	binary.BigEndian.PutUint32(b[16:20], expiry)
-	return b
+	return AppendCounterExtras(make([]byte, 0, 20), delta, initial, expiry)
 }
 
 // ParseCounterExtras unpacks INCR/DECR extras.
@@ -263,11 +381,16 @@ func ParseCounterExtras(extras []byte) (delta, initial uint64, expiry uint32, er
 		binary.BigEndian.Uint32(extras[16:20]), nil
 }
 
+// AppendTouchExtras appends the expiry extras of TOUCH to b.
+func AppendTouchExtras(b []byte, expiry uint32) []byte {
+	var e [4]byte
+	binary.BigEndian.PutUint32(e[:], expiry)
+	return append(b, e[:]...)
+}
+
 // TouchExtras packs the expiry extras of TOUCH (and optionally FLUSH).
 func TouchExtras(expiry uint32) []byte {
-	b := make([]byte, 4)
-	binary.BigEndian.PutUint32(b, expiry)
-	return b
+	return AppendTouchExtras(make([]byte, 0, 4), expiry)
 }
 
 // ParseTouchExtras unpacks TOUCH extras.
@@ -278,11 +401,16 @@ func ParseTouchExtras(extras []byte) (expiry uint32, err error) {
 	return binary.BigEndian.Uint32(extras), nil
 }
 
+// AppendCounterValue appends the 8-byte response value of INCR/DECR to b.
+func AppendCounterValue(b []byte, v uint64) []byte {
+	var e [8]byte
+	binary.BigEndian.PutUint64(e[:], v)
+	return append(b, e[:]...)
+}
+
 // CounterValue encodes the 8-byte response value of INCR/DECR.
 func CounterValue(v uint64) []byte {
-	b := make([]byte, 8)
-	binary.BigEndian.PutUint64(b, v)
-	return b
+	return AppendCounterValue(make([]byte, 0, 8), v)
 }
 
 // ParseCounterValue decodes an INCR/DECR response value.

@@ -192,3 +192,98 @@ func TestOpcodeAndStatusStrings(t *testing.T) {
 		t.Error("unknown status has empty string")
 	}
 }
+
+func TestKeyAndExtrasCapsEnforced(t *testing.T) {
+	// Write side: oversized sections rejected before any bytes hit the wire.
+	if err := Write(io.Discard, &Frame{Magic: MagicRequest, Key: make([]byte, MaxKeyLen+1)}); !errors.Is(err, ErrKeyTooLong) {
+		t.Errorf("long key write: %v", err)
+	}
+	if err := Write(io.Discard, &Frame{Magic: MagicRequest, Extras: make([]byte, MaxExtrasLen+1)}); !errors.Is(err, ErrExtrasTooLong) {
+		t.Errorf("long extras write: %v", err)
+	}
+	// Read side: a handcrafted header claiming oversized sections must fail
+	// with a protocol error instead of driving the allocation.
+	mk := func(keyLen, extLen, bodyLen int) []byte {
+		raw := make([]byte, HeaderSize)
+		raw[0] = MagicRequest
+		raw[2], raw[3] = byte(keyLen>>8), byte(keyLen)
+		raw[4] = byte(extLen)
+		raw[8], raw[9], raw[10], raw[11] = byte(bodyLen>>24), byte(bodyLen>>16), byte(bodyLen>>8), byte(bodyLen)
+		return raw
+	}
+	if _, err := Read(bytes.NewReader(mk(MaxKeyLen+1, 0, MaxKeyLen+1))); !errors.Is(err, ErrKeyTooLong) {
+		t.Errorf("long key read: %v", err)
+	}
+	if _, err := Read(bytes.NewReader(mk(0, MaxExtrasLen+1, MaxExtrasLen+1))); !errors.Is(err, ErrExtrasTooLong) {
+		t.Errorf("long extras read: %v", err)
+	}
+	if _, err := Read(bytes.NewReader(mk(0, 0, MaxBody+1))); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized body read: %v", err)
+	}
+}
+
+func TestReadFrameReusesBuffer(t *testing.T) {
+	var wire bytes.Buffer
+	in := &Frame{Magic: MagicRequest, Op: OpSet, Extras: SetExtras(1, 2), Key: []byte("k1"), Value: []byte("first-value")}
+	if err := Write(&wire, in); err != nil {
+		t.Fatal(err)
+	}
+	in2 := &Frame{Magic: MagicRequest, Op: OpSet, Extras: SetExtras(3, 4), Key: []byte("k2"), Value: []byte("second")}
+	if err := Write(&wire, in2); err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	buf, err := ReadFrame(&wire, &f, nil)
+	if err != nil || string(f.Key) != "k1" || string(f.Value) != "first-value" {
+		t.Fatalf("first frame: %+v %v", f, err)
+	}
+	first := buf
+	buf, err = ReadFrame(&wire, &f, buf)
+	if err != nil || string(f.Key) != "k2" || string(f.Value) != "second" {
+		t.Fatalf("second frame: %+v %v", f, err)
+	}
+	if &first[0] != &buf[0] {
+		t.Error("buffer not reused despite sufficient capacity")
+	}
+}
+
+func TestAppendFrameMatchesWrite(t *testing.T) {
+	in := &Frame{Magic: MagicResponse, Op: OpGet, Status: StatusOK, Opaque: 5, CAS: 6,
+		Extras: GetExtras(9), Key: []byte("key"), Value: []byte("value")}
+	var viaWrite bytes.Buffer
+	if err := Write(&viaWrite, in); err != nil {
+		t.Fatal(err)
+	}
+	viaAppend, err := AppendFrame(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaWrite.Bytes(), viaAppend) {
+		t.Errorf("encodings differ:\nwrite:  %x\nappend: %x", viaWrite.Bytes(), viaAppend)
+	}
+}
+
+func TestLargeValueVectoredWrite(t *testing.T) {
+	val := make([]byte, inlineValue*3)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	in := &Frame{Magic: MagicRequest, Op: OpSet, Extras: SetExtras(0, 0), Key: []byte("big"), Value: val}
+	var wire bytes.Buffer
+	if err := Write(&wire, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&wire)
+	if err != nil || !bytes.Equal(out.Value, val) {
+		t.Fatalf("large value round trip: %v", err)
+	}
+}
+
+func TestQuietOpcodes(t *testing.T) {
+	if !OpGetQ.Quiet() || !OpSetQ.Quiet() || OpGet.Quiet() || OpNoop.Quiet() {
+		t.Error("Quiet() misclassifies")
+	}
+	if OpGetQ.String() != "GETQ" || OpSetQ.String() != "SETQ" {
+		t.Error("quiet opcode strings wrong")
+	}
+}

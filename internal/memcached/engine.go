@@ -8,8 +8,9 @@
 // simulated datasets use real allocator/LRU/statistics code paths without
 // real memory.
 //
-// The engine is not goroutine-safe; wrap it in a mutex for concurrent use
-// (mcserver does).
+// The engine is not goroutine-safe. For concurrent use wrap it in a mutex,
+// or use ShardedEngine, which partitions the key space over N independent
+// engines each behind its own lock (mcserver does the latter).
 package memcached
 
 import (
@@ -60,6 +61,10 @@ type Config struct {
 	// against it. Nil defaults to a clock frozen at 1 (items never expire
 	// unless ExpireAt is set in the past).
 	Clock func() int64
+	// Shards selects the shard count for NewSharded (rounded up to a power
+	// of two, clamped to MaxShards); zero picks DefaultShards. A plain
+	// Engine ignores it.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {

@@ -1,12 +1,20 @@
-// Package mcclient is a synchronous memcached binary protocol client for a
+// Package mcclient is a pipelined memcached binary protocol client for a
 // single server connection. It pairs with mcserver but speaks the standard
 // protocol, so it also works against a stock memcached running in binary
-// mode. The client is safe for concurrent use; requests are serialized on
-// the connection.
+// mode.
+//
+// The client is safe for concurrent use and does not serialize round-trips:
+// a request takes the write lock only long enough to encode the frame, then
+// waits for its response off-lock while other goroutines issue theirs. A
+// dedicated reader goroutine correlates responses to callers by opaque, so
+// up to the in-flight window (see WithWindow) of requests can be on the
+// wire at once. GetMulti and SetMulti batch many keys into a single
+// quiet-op burst (GETQ/SETQ … NOOP) costing one round-trip total.
 package mcclient
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -15,13 +23,66 @@ import (
 	"hbb/internal/memcached/binproto"
 )
 
+// DefaultWindow is the default cap on concurrently in-flight operations
+// per connection. Each GetMulti/SetMulti/Stats counts as one.
+const DefaultWindow = 128
+
+// ErrClosed is returned for operations on a closed client.
+var ErrClosed = errors.New("mcclient: client closed")
+
 // Client is a connection to one memcached server.
 type Client struct {
-	mu     sync.Mutex
 	conn   net.Conn
-	r      *bufio.Reader
-	w      *bufio.Writer
-	opaque uint32
+	window chan struct{} // in-flight slots; held by the issuing goroutine
+
+	wmu     sync.Mutex // guards w, opaque, pending, err
+	w       *bufio.Writer
+	opaque  uint32
+	pending map[uint32]*call
+	err     error // sticky; set on first connection-level failure
+}
+
+// call is one expected response (or response stream) keyed by opaque.
+type call struct {
+	ch     chan result // single and stream responses
+	stream bool        // multi-frame response (stats): keep pending until terminator
+	batch  *batch      // quiet-op batch member; nil for plain calls
+	term   bool        // the batch's NOOP terminator
+}
+
+type result struct {
+	f   *binproto.Frame
+	err error
+}
+
+// batch collects responses for one GetMulti/SetMulti quiet burst.
+type batch struct {
+	mu      sync.Mutex
+	hits    map[uint32]*binproto.Frame // opaque → response (quiet ops answer selectively)
+	opaques []uint32                   // all quiet opaques, for miss accounting
+	once    sync.Once
+	err     error
+	done    chan struct{}
+}
+
+func (b *batch) finish(err error) {
+	b.once.Do(func() {
+		b.err = err
+		close(b.done)
+	})
+}
+
+// Option configures a Client at construction.
+type Option func(*Client)
+
+// WithWindow sets the in-flight operation window (minimum 1).
+func WithWindow(n int) Option {
+	return func(c *Client) {
+		if n < 1 {
+			n = 1
+		}
+		c.window = make(chan struct{}, n)
+	}
 }
 
 // StatusError is returned for non-OK protocol responses.
@@ -54,46 +115,163 @@ func IsNotStored(err error) bool {
 }
 
 // Dial connects to addr with the given timeout.
-func Dial(addr string, timeout time.Duration) (*Client, error) {
+func Dial(addr string, timeout time.Duration, opts ...Option) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	return NewClient(conn, opts...), nil
 }
 
-// NewClient wraps an established connection.
-func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+// NewClient wraps an established connection and starts the response reader.
+func NewClient(conn net.Conn, opts ...Option) *Client {
+	c := &Client{
+		conn:    conn,
+		w:       bufio.NewWriter(conn),
+		pending: make(map[uint32]*call),
+		window:  make(chan struct{}, DefaultWindow),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	go c.readLoop(bufio.NewReader(conn))
+	return c
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection. Outstanding operations fail with ErrClosed.
+func (c *Client) Close() error {
+	c.failAll(ErrClosed)
+	return nil
+}
 
-// roundTrip sends a request and reads the matching response.
-func (c *Client) roundTrip(req *binproto.Frame) (*binproto.Frame, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// readLoop is the single reader goroutine: it decodes responses and routes
+// each to its waiting caller by opaque.
+func (c *Client) readLoop(r *bufio.Reader) {
+	for {
+		resp, err := binproto.Read(r)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		if err := c.dispatch(resp); err != nil {
+			c.failAll(err)
+			return
+		}
+	}
+}
+
+// dispatch routes one response frame. An opaque with no pending caller is a
+// protocol violation and poisons the connection.
+func (c *Client) dispatch(resp *binproto.Frame) error {
+	c.wmu.Lock()
+	cl, ok := c.pending[resp.Opaque]
+	if !ok {
+		c.wmu.Unlock()
+		return fmt.Errorf("mcclient: opaque mismatch: unexpected response opaque %d", resp.Opaque)
+	}
+	switch {
+	case cl.batch != nil:
+		b := cl.batch
+		if cl.term {
+			// NOOP terminator: every quiet op still pending is a
+			// silent miss (GETQ) or silent success (SETQ).
+			for _, op := range b.opaques {
+				delete(c.pending, op)
+			}
+			delete(c.pending, resp.Opaque)
+			c.wmu.Unlock()
+			b.finish(nil)
+		} else {
+			delete(c.pending, resp.Opaque)
+			c.wmu.Unlock()
+			b.mu.Lock()
+			b.hits[resp.Opaque] = resp
+			b.mu.Unlock()
+		}
+	case cl.stream:
+		// Stats stream: the empty-key frame (or an error) terminates.
+		if resp.Status != binproto.StatusOK || len(resp.Key) == 0 {
+			delete(c.pending, resp.Opaque)
+		}
+		c.wmu.Unlock()
+		cl.ch <- result{f: resp}
+	default:
+		delete(c.pending, resp.Opaque)
+		c.wmu.Unlock()
+		cl.ch <- result{f: resp}
+	}
+	return nil
+}
+
+// failAll poisons the client: the sticky error is set, the connection is
+// closed, and every outstanding caller is completed with err.
+func (c *Client) failAll(err error) {
+	c.wmu.Lock()
+	if c.err != nil {
+		err = c.err // first failure wins for consistency
+	} else {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint32]*call)
+	c.wmu.Unlock()
+	c.conn.Close()
+	for _, cl := range pending {
+		if cl.batch != nil {
+			cl.batch.finish(err)
+			continue
+		}
+		select { // ch is buffered; never block teardown
+		case cl.ch <- result{err: err}:
+		default:
+		}
+	}
+}
+
+// send encodes req under the write lock, registers cl for its response,
+// and flushes. The caller must already hold a window slot.
+func (c *Client) send(req *binproto.Frame, cl *call) error {
+	c.wmu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.wmu.Unlock()
+		return err
+	}
 	c.opaque++
 	req.Magic = binproto.MagicRequest
 	req.Opaque = c.opaque
-	if err := binproto.Write(c.w, req); err != nil {
-		return nil, err
+	c.pending[req.Opaque] = cl
+	err := binproto.Write(c.w, req)
+	if err == nil {
+		err = c.w.Flush()
 	}
-	if err := c.w.Flush(); err != nil {
-		return nil, err
-	}
-	resp, err := binproto.Read(c.r)
 	if err != nil {
+		delete(c.pending, req.Opaque)
+		c.wmu.Unlock()
+		c.failAll(err)
+		return err
+	}
+	c.wmu.Unlock()
+	return nil
+}
+
+// roundTrip sends one request and waits for its response. The write lock is
+// released before the wait, so concurrent callers pipeline on the wire.
+func (c *Client) roundTrip(req *binproto.Frame) (*binproto.Frame, error) {
+	c.window <- struct{}{}
+	defer func() { <-c.window }()
+	cl := &call{ch: make(chan result, 1)}
+	if err := c.send(req, cl); err != nil {
 		return nil, err
 	}
-	if resp.Opaque != req.Opaque {
-		return nil, fmt.Errorf("mcclient: opaque mismatch: sent %d, got %d", req.Opaque, resp.Opaque)
+	res := <-cl.ch
+	if res.err != nil {
+		return nil, res.err
 	}
-	if resp.Status != binproto.StatusOK {
-		return nil, &StatusError{Op: req.Op, Status: resp.Status}
+	if res.f.Status != binproto.StatusOK {
+		return nil, &StatusError{Op: req.Op, Status: res.f.Status}
 	}
-	return resp, nil
+	return res.f, nil
 }
 
 // Item is a client-side view of a cache entry.
@@ -116,6 +294,125 @@ func (c *Client) Get(key string) (*Item, error) {
 		return nil, err
 	}
 	return &Item{Key: key, Value: resp.Value, Flags: flags, CAS: resp.CAS}, nil
+}
+
+// GetMulti fetches many keys in one wire burst: a GETQ per key followed by
+// a NOOP terminator. Quiet gets answer only on hit, so misses cost nothing
+// on the return path; the whole batch is one round-trip. Missing keys are
+// simply absent from the result map.
+func (c *Client) GetMulti(keys []string) (map[string]*Item, error) {
+	items := make(map[string]*Item, len(keys))
+	if len(keys) == 0 {
+		return items, nil
+	}
+	c.window <- struct{}{}
+	defer func() { <-c.window }()
+	b := &batch{hits: make(map[uint32]*binproto.Frame), done: make(chan struct{})}
+	keyOf := make(map[uint32]string, len(keys))
+	if err := c.sendBatch(b, len(keys), func(i int, op uint32) *binproto.Frame {
+		keyOf[op] = keys[i]
+		return &binproto.Frame{Op: binproto.OpGetQ, Opaque: op, Key: []byte(keys[i])}
+	}); err != nil {
+		return nil, err
+	}
+	<-b.done
+	if b.err != nil {
+		return nil, b.err
+	}
+	for op, f := range b.hits {
+		if f.Status != binproto.StatusOK {
+			continue // treat per-key errors as misses, like quiet gets do
+		}
+		flags, err := binproto.ParseGetExtras(f.Extras)
+		if err != nil {
+			return nil, err
+		}
+		key := keyOf[op]
+		items[key] = &Item{Key: key, Value: f.Value, Flags: flags, CAS: f.CAS}
+	}
+	return items, nil
+}
+
+// SetMulti stores many items in one wire burst: a SETQ per item followed by
+// a NOOP terminator. Quiet sets answer only on failure, so the happy path
+// is one round-trip regardless of batch size. The returned map holds a
+// per-key error for each store the server rejected (empty on full success);
+// the error return is reserved for connection-level failures. Successful
+// quiet sets do not report a CAS.
+func (c *Client) SetMulti(items []*Item) (map[string]error, error) {
+	failed := make(map[string]error)
+	if len(items) == 0 {
+		return failed, nil
+	}
+	c.window <- struct{}{}
+	defer func() { <-c.window }()
+	b := &batch{hits: make(map[uint32]*binproto.Frame), done: make(chan struct{})}
+	keyOf := make(map[uint32]string, len(items))
+	if err := c.sendBatch(b, len(items), func(i int, op uint32) *binproto.Frame {
+		it := items[i]
+		keyOf[op] = it.Key
+		return &binproto.Frame{
+			Op:     binproto.OpSetQ,
+			Opaque: op,
+			Key:    []byte(it.Key),
+			Value:  it.Value,
+			Extras: binproto.SetExtras(it.Flags, it.Expiry),
+			CAS:    it.CAS,
+		}
+	}); err != nil {
+		return nil, err
+	}
+	<-b.done
+	if b.err != nil {
+		return nil, b.err
+	}
+	for op, f := range b.hits {
+		failed[keyOf[op]] = &StatusError{Op: binproto.OpSetQ, Status: f.Status}
+	}
+	return failed, nil
+}
+
+// sendBatch writes n quiet frames produced by mk plus the NOOP terminator
+// under one write lock and a single flush.
+func (c *Client) sendBatch(b *batch, n int, mk func(i int, opaque uint32) *binproto.Frame) error {
+	c.wmu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.wmu.Unlock()
+		return err
+	}
+	fail := func(err error) error {
+		for _, op := range b.opaques {
+			delete(c.pending, op)
+		}
+		c.wmu.Unlock()
+		c.failAll(err)
+		return err
+	}
+	for i := 0; i < n; i++ {
+		c.opaque++
+		op := c.opaque
+		f := mk(i, op)
+		f.Magic = binproto.MagicRequest
+		b.opaques = append(b.opaques, op)
+		c.pending[op] = &call{batch: b}
+		if err := binproto.Write(c.w, f); err != nil {
+			return fail(err)
+		}
+	}
+	c.opaque++
+	term := c.opaque
+	c.pending[term] = &call{batch: b, term: true}
+	err := binproto.Write(c.w, &binproto.Frame{Magic: binproto.MagicRequest, Op: binproto.OpNoop, Opaque: term})
+	if err == nil {
+		err = c.w.Flush()
+	}
+	if err != nil {
+		delete(c.pending, term)
+		return fail(err)
+	}
+	c.wmu.Unlock()
+	return nil
 }
 
 func (c *Client) storeOp(op binproto.Opcode, it *Item, cas uint64) (uint64, error) {
@@ -203,30 +500,27 @@ func (c *Client) Version() (string, error) {
 	return string(resp.Value), nil
 }
 
-// Stats fetches the server's statistics map.
+// Stats fetches the server's statistics map. The response is a stream of
+// frames sharing one opaque, ended by an empty-key frame.
 func (c *Client) Stats() (map[string]string, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.opaque++
-	req := &binproto.Frame{Magic: binproto.MagicRequest, Op: binproto.OpStat, Opaque: c.opaque}
-	if err := binproto.Write(c.w, req); err != nil {
-		return nil, err
-	}
-	if err := c.w.Flush(); err != nil {
+	c.window <- struct{}{}
+	defer func() { <-c.window }()
+	cl := &call{ch: make(chan result, 32), stream: true}
+	if err := c.send(&binproto.Frame{Op: binproto.OpStat}, cl); err != nil {
 		return nil, err
 	}
 	out := make(map[string]string)
 	for {
-		resp, err := binproto.Read(c.r)
-		if err != nil {
-			return nil, err
+		res := <-cl.ch
+		if res.err != nil {
+			return nil, res.err
 		}
-		if resp.Status != binproto.StatusOK {
-			return nil, &StatusError{Op: binproto.OpStat, Status: resp.Status}
+		if res.f.Status != binproto.StatusOK {
+			return nil, &StatusError{Op: binproto.OpStat, Status: res.f.Status}
 		}
-		if len(resp.Key) == 0 {
+		if len(res.f.Key) == 0 {
 			return out, nil
 		}
-		out[string(resp.Key)] = string(resp.Value)
+		out[string(res.f.Key)] = string(res.f.Value)
 	}
 }

@@ -1,7 +1,10 @@
-// Package mcserver serves a memcached.Engine over TCP using the memcached
-// binary protocol. One goroutine per connection; the engine is guarded by a
-// single mutex (the engine itself is not goroutine-safe), which matches
-// memcached's global-lock behaviour for the command set we implement.
+// Package mcserver serves a memcached engine over TCP using the memcached
+// binary protocol. One goroutine per connection over a ShardedEngine: keys
+// route to per-shard locks, so concurrent connections execute engine
+// operations in parallel instead of serializing behind a global mutex (the
+// RDMA-Memcached design point this substrate models). The wire path reuses
+// per-connection frame and body buffers, so steady-state request handling
+// does not allocate per frame.
 package mcserver
 
 import (
@@ -11,6 +14,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hbb/internal/memcached"
@@ -18,12 +22,11 @@ import (
 )
 
 // Version is the version string reported for OpVersion.
-const Version = "hbb-memcached/1.0"
+const Version = "hbb-memcached/1.1"
 
-// Server wraps an engine and serves connections.
+// Server wraps a sharded engine and serves connections.
 type Server struct {
-	mu     sync.Mutex
-	engine *memcached.Engine
+	engine *memcached.ShardedEngine
 	now    func() int64
 
 	lnMu   sync.Mutex
@@ -32,28 +35,32 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	connsAccepted int64
+	connsAccepted atomic.Int64
 }
 
-// New returns a server over a fresh engine with the given configuration.
-// The engine clock is wall time unless cfg.Clock is set.
+// New returns a server over a fresh sharded engine with the given
+// configuration (cfg.Shards selects the shard count; zero uses
+// memcached.DefaultShards). The engine clock is wall time unless cfg.Clock
+// is set.
 func New(cfg memcached.Config) *Server {
 	if cfg.Clock == nil {
 		cfg.Clock = func() int64 { return time.Now().UnixNano() }
 	}
 	return &Server{
-		engine: memcached.NewEngine(cfg),
+		engine: memcached.NewSharded(cfg),
 		now:    cfg.Clock,
 		conns:  make(map[net.Conn]struct{}),
 	}
 }
 
-// Engine exposes the underlying engine (callers must not use it
-// concurrently with a running server except via Stats-style reads they
-// synchronize themselves; tests use it after Close).
-func (s *Server) Engine() *memcached.Engine { return s.engine }
+// Engine exposes the underlying sharded engine. It is safe to use
+// concurrently with a running server.
+func (s *Server) Engine() *memcached.ShardedEngine { return s.engine }
 
-// ListenAndServe listens on addr and serves until Close is called.
+// ConnsAccepted returns the number of connections accepted so far.
+func (s *Server) ConnsAccepted() int64 { return s.connsAccepted.Load() }
+
+// ListenAndServe listens on addr and serves until Stop or Close is called.
 func (s *Server) ListenAndServe(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -62,7 +69,7 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(ln)
 }
 
-// Serve accepts connections from ln until Close is called.
+// Serve accepts connections from ln until Stop or Close is called.
 func (s *Server) Serve(ln net.Listener) error {
 	s.lnMu.Lock()
 	s.ln = ln
@@ -76,9 +83,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		s.mu.Lock()
-		s.connsAccepted++
-		s.mu.Unlock()
+		s.connsAccepted.Add(1)
 		s.lnMu.Lock()
 		if s.closed {
 			s.lnMu.Unlock()
@@ -110,19 +115,57 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Close stops the listener and terminates every active connection.
-func (s *Server) Close() error {
+// Close stops the listener and terminates every active connection
+// immediately; it is Stop with a zero drain window.
+func (s *Server) Close() error { return s.Stop(0) }
+
+// Stop shuts the server down: it closes the listener so no new connections
+// arrive, waits up to drain for in-flight connection handlers to finish on
+// their own, then force-closes whatever connections remain and waits for
+// their handlers to unwind. Handlers are never stranded: every accepted
+// connection is tracked and closed, and Stop returns only after all
+// handler goroutines have exited.
+func (s *Server) Stop(drain time.Duration) error {
 	s.lnMu.Lock()
+	alreadyClosed := s.closed
 	s.closed = true
+	ln := s.ln
+	s.lnMu.Unlock()
+	var err error
+	if ln != nil && !alreadyClosed {
+		err = ln.Close()
+	}
+	if drain > 0 {
+		done := make(chan struct{})
+		go func() { s.wg.Wait(); close(done) }()
+		select {
+		case <-done:
+			return err
+		case <-time.After(drain):
+		}
+	}
+	s.lnMu.Lock()
 	for conn := range s.conns {
 		conn.Close()
 	}
-	ln := s.ln
 	s.lnMu.Unlock()
-	if ln == nil {
-		return nil
-	}
-	return ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// connState is the per-connection scratch reused across requests: the
+// decoded frame, its body buffer, and an extras/value buffer for fixed-size
+// response sections. Pooled so short-lived connections do not re-allocate.
+type connState struct {
+	req  binproto.Frame
+	body []byte
+	ext  []byte
+}
+
+var statePool = sync.Pool{
+	New: func() any {
+		return &connState{body: make([]byte, 0, 2048), ext: make([]byte, 0, 32)}
+	},
 }
 
 func (s *Server) handleConn(conn net.Conn) {
@@ -139,17 +182,28 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.serveText(r, w)
 		return
 	}
+	cs := statePool.Get().(*connState)
+	defer statePool.Put(cs)
 	for {
-		req, err := binproto.Read(r)
+		cs.body, err = binproto.ReadFrame(r, &cs.req, cs.body)
 		if err != nil {
 			return // EOF or protocol error: drop the connection
 		}
-		if !req.Request() {
+		if !cs.req.Request() {
 			return
 		}
-		quit := s.dispatch(w, req)
-		if err := w.Flush(); err != nil || quit {
+		quit := s.dispatch(w, &cs.req, cs)
+		// Flush only when the read buffer is drained: pipelined clients get
+		// their whole burst answered in one write instead of one flush per
+		// response.
+		if quit {
+			w.Flush()
 			return
+		}
+		if r.Buffered() == 0 {
+			if err := w.Flush(); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -188,6 +242,8 @@ func statusFor(err error) binproto.Status {
 		return binproto.StatusNonNumeric
 	case errors.Is(err, memcached.ErrNoMemory):
 		return binproto.StatusOutOfMemory
+	case errors.Is(err, binproto.ErrKeyTooLong):
+		return binproto.StatusInvalidArgs
 	default:
 		return binproto.StatusInvalidArgs
 	}
@@ -207,26 +263,32 @@ func respond(w io.Writer, req *binproto.Frame, status binproto.Status, f binprot
 }
 
 // dispatch executes one request and writes the response; it reports whether
-// the connection should close (QUIT).
-func (s *Server) dispatch(w io.Writer, req *binproto.Frame) (quit bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// the connection should close (QUIT). No lock is held here — the sharded
+// engine synchronizes per shard, so connections only contend when they
+// touch keys in the same shard.
+func (s *Server) dispatch(w io.Writer, req *binproto.Frame, cs *connState) (quit bool) {
 	e := s.engine
 	switch req.Op {
-	case binproto.OpGet:
+	case binproto.OpGet, binproto.OpGetQ:
 		it, err := e.Get(string(req.Key))
 		if err != nil {
+			if req.Op == binproto.OpGetQ {
+				return false // quiet get: silent on miss
+			}
 			return respond(w, req, statusFor(err), binproto.Frame{})
 		}
+		cs.ext = binproto.AppendGetExtras(cs.ext[:0], it.Flags)
 		return respond(w, req, binproto.StatusOK, binproto.Frame{
-			Extras: binproto.GetExtras(it.Flags), Value: it.Value, CAS: it.CAS,
+			Extras: cs.ext, Value: it.Value, CAS: it.CAS,
 		})
 
-	case binproto.OpSet, binproto.OpAdd, binproto.OpReplace:
+	case binproto.OpSet, binproto.OpSetQ, binproto.OpAdd, binproto.OpReplace:
 		flags, expiry, err := binproto.ParseSetExtras(req.Extras)
 		if err != nil {
 			return respond(w, req, binproto.StatusInvalidArgs, binproto.Frame{})
 		}
+		// The engine owns stored items, and req.Value aliases the reused
+		// connection body buffer, so the value is copied exactly once here.
 		it := memcached.Item{
 			Key:      string(req.Key),
 			Value:    append([]byte(nil), req.Value...),
@@ -235,9 +297,9 @@ func (s *Server) dispatch(w io.Writer, req *binproto.Frame) (quit bool) {
 		}
 		var cas uint64
 		switch {
-		case req.Op == binproto.OpSet && req.CAS != 0:
+		case (req.Op == binproto.OpSet || req.Op == binproto.OpSetQ) && req.CAS != 0:
 			cas, err = e.CompareAndSwap(it, req.CAS)
-		case req.Op == binproto.OpSet:
+		case req.Op == binproto.OpSet || req.Op == binproto.OpSetQ:
 			cas, err = e.Set(it)
 		case req.Op == binproto.OpAdd:
 			cas, err = e.Add(it)
@@ -246,6 +308,9 @@ func (s *Server) dispatch(w io.Writer, req *binproto.Frame) (quit bool) {
 		}
 		if err != nil {
 			return respond(w, req, statusFor(err), binproto.Frame{})
+		}
+		if req.Op == binproto.OpSetQ {
+			return false // quiet set: silent on success
 		}
 		return respond(w, req, binproto.StatusOK, binproto.Frame{CAS: cas})
 
@@ -270,7 +335,8 @@ func (s *Server) dispatch(w io.Writer, req *binproto.Frame) (quit bool) {
 		if err != nil {
 			return respond(w, req, statusFor(err), binproto.Frame{})
 		}
-		return respond(w, req, binproto.StatusOK, binproto.Frame{Value: binproto.CounterValue(v)})
+		cs.ext = binproto.AppendCounterValue(cs.ext[:0], v)
+		return respond(w, req, binproto.StatusOK, binproto.Frame{Value: cs.ext})
 
 	case binproto.OpTouch:
 		expiry, err := binproto.ParseTouchExtras(req.Extras)

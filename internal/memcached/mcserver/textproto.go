@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"hbb/internal/memcached"
+	"hbb/internal/memcached/binproto"
 )
 
 // The classic memcached ASCII protocol, served on the same port as the
@@ -74,7 +75,6 @@ func (s *Server) dispatchText(r *bufio.Reader, w *bufio.Writer, fields []string)
 			return false, nil
 		}
 		withCAS := cmd == "gets"
-		s.mu.Lock()
 		for _, key := range args {
 			it, err := s.engine.Get(key)
 			if err != nil {
@@ -88,7 +88,6 @@ func (s *Server) dispatchText(r *bufio.Reader, w *bufio.Writer, fields []string)
 			w.Write(it.Value)
 			w.WriteString("\r\n")
 		}
-		s.mu.Unlock()
 		w.WriteString("END\r\n")
 		return false, nil
 
@@ -101,9 +100,7 @@ func (s *Server) dispatchText(r *bufio.Reader, w *bufio.Writer, fields []string)
 			return false, nil
 		}
 		noreply := lastIsNoreply(&args)
-		s.mu.Lock()
 		err := s.engine.Delete(args[0])
-		s.mu.Unlock()
 		if err != nil {
 			reply(w, noreply, "NOT_FOUND")
 		} else {
@@ -126,9 +123,7 @@ func (s *Server) dispatchText(r *bufio.Reader, w *bufio.Writer, fields []string)
 		if cmd == "decr" {
 			d = -d
 		}
-		s.mu.Lock()
 		v, err := s.engine.IncrDecr(args[0], d, nil, 0)
-		s.mu.Unlock()
 		switch {
 		case err == nil:
 			reply(w, noreply, "%d", v)
@@ -150,9 +145,7 @@ func (s *Server) dispatchText(r *bufio.Reader, w *bufio.Writer, fields []string)
 			clientError(w, noreply, "invalid exptime argument")
 			return false, nil
 		}
-		s.mu.Lock()
 		err := s.engine.Touch(args[0], s.expiryToAbs(uint32(exp)))
-		s.mu.Unlock()
 		if err != nil {
 			reply(w, noreply, "NOT_FOUND")
 		} else {
@@ -162,9 +155,7 @@ func (s *Server) dispatchText(r *bufio.Reader, w *bufio.Writer, fields []string)
 
 	case "flush_all":
 		noreply := lastIsNoreply(&args)
-		s.mu.Lock()
 		s.engine.Flush()
-		s.mu.Unlock()
 		reply(w, noreply, "OK")
 		return false, nil
 
@@ -173,9 +164,7 @@ func (s *Server) dispatchText(r *bufio.Reader, w *bufio.Writer, fields []string)
 		return false, nil
 
 	case "stats":
-		s.mu.Lock()
 		st := s.engine.Stats()
-		s.mu.Unlock()
 		for _, kv := range statPairs(st) {
 			fmt.Fprintf(w, "STAT %s %d\r\n", kv.k, kv.v)
 		}
@@ -211,7 +200,11 @@ func (s *Server) textStore(r *bufio.Reader, w *bufio.Writer, cmd string, args []
 	if cmd == "cas" {
 		casID, err4 = strconv.ParseUint(args[4], 10, 64)
 	}
-	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || nbytes < 0 || nbytes > maxTextValue {
+	// Cap key and value lengths before acting on them: nbytes bounds the
+	// data-block allocation below, and keys follow memcached's 250-byte
+	// limit (shared with the binary protocol's binproto.MaxKeyLen).
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil ||
+		nbytes < 0 || nbytes > maxTextValue || len(args[0]) > binproto.MaxKeyLen {
 		clientError(w, false, "bad command line format")
 		return nil
 	}
@@ -230,7 +223,6 @@ func (s *Server) textStore(r *bufio.Reader, w *bufio.Writer, cmd string, args []
 		Flags:    uint32(flags),
 		ExpireAt: s.expiryToAbs(uint32(exp)),
 	}
-	s.mu.Lock()
 	var serr error
 	switch cmd {
 	case "set":
@@ -242,7 +234,6 @@ func (s *Server) textStore(r *bufio.Reader, w *bufio.Writer, cmd string, args []
 	case "cas":
 		_, serr = s.engine.CompareAndSwap(it, casID)
 	}
-	s.mu.Unlock()
 	switch {
 	case serr == nil:
 		reply(w, noreply, "STORED")

@@ -1,0 +1,236 @@
+package memcached
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestShardedBasicOps(t *testing.T) {
+	se := NewSharded(Config{Shards: 8})
+	if se.NumShards() != 8 {
+		t.Fatalf("NumShards = %d, want 8", se.NumShards())
+	}
+	cas, err := se.Set(Item{Key: "k", Value: []byte("v"), Flags: 7})
+	if err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	it, err := se.Get("k")
+	if err != nil || string(it.Value) != "v" || it.Flags != 7 || it.CAS != cas {
+		t.Fatalf("get: %+v %v", it, err)
+	}
+	if _, err := se.Add(Item{Key: "k", Value: []byte("x")}); err != ErrNotStored {
+		t.Errorf("add existing: %v", err)
+	}
+	if _, err := se.Replace(Item{Key: "k", Value: []byte("v2")}); err != nil {
+		t.Errorf("replace: %v", err)
+	}
+	it, _ = se.Get("k")
+	if _, err := se.CompareAndSwap(Item{Key: "k", Value: []byte("v3")}, it.CAS+1); err != ErrExists {
+		t.Errorf("stale cas: %v", err)
+	}
+	if _, err := se.CompareAndSwap(Item{Key: "k", Value: []byte("v3")}, it.CAS); err != nil {
+		t.Errorf("cas: %v", err)
+	}
+	init := uint64(10)
+	if v, err := se.IncrDecr("n", 5, &init, 0); err != nil || v != 10 {
+		t.Errorf("incr init: %d %v", v, err)
+	}
+	if v, err := se.IncrDecr("n", 5, nil, 0); err != nil || v != 15 {
+		t.Errorf("incr: %d %v", v, err)
+	}
+	if err := se.Touch("k", 0); err != nil {
+		t.Errorf("touch: %v", err)
+	}
+	if err := se.Delete("k"); err != nil {
+		t.Errorf("delete: %v", err)
+	}
+	if _, err := se.Get("k"); err != ErrNotFound {
+		t.Errorf("get after delete: %v", err)
+	}
+}
+
+func TestShardedShardCountRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16}, {1000, MaxShards},
+	} {
+		se := NewSharded(Config{Shards: tc.in})
+		if se.NumShards() != tc.want {
+			t.Errorf("Shards=%d -> %d shards, want %d", tc.in, se.NumShards(), tc.want)
+		}
+	}
+	if se := NewSharded(Config{}); se.NumShards() != DefaultShards() {
+		t.Errorf("default shards = %d, want %d", se.NumShards(), DefaultShards())
+	}
+}
+
+func TestShardedFlushInvalidatesAllShards(t *testing.T) {
+	se := NewSharded(Config{Shards: 4})
+	for i := 0; i < 64; i++ {
+		if _, err := se.Set(Item{Key: fmt.Sprintf("k%d", i), Value: []byte("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	se.Flush()
+	for i := 0; i < 64; i++ {
+		if _, err := se.Get(fmt.Sprintf("k%d", i)); err != ErrNotFound {
+			t.Fatalf("k%d survived flush: %v", i, err)
+		}
+	}
+}
+
+func TestShardedKeysSpreadOverShards(t *testing.T) {
+	se := NewSharded(Config{Shards: 8})
+	const n = 4096
+	for i := 0; i < n; i++ {
+		if _, err := se.Set(Item{Key: fmt.Sprintf("key-%d", i), Size: 64}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := se.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	if got := len(se.Keys()); got != n {
+		t.Fatalf("Keys len = %d, want %d", got, n)
+	}
+	// Every shard should hold a reasonable fraction: with 4096 keys over 8
+	// shards the expected load is 512; demand at least a quarter of that so
+	// a broken hash (all keys in one shard) fails loudly.
+	for i := 0; i < se.NumShards(); i++ {
+		if items := se.ShardStats(i).CurrItems; items < int64(n/se.NumShards()/4) {
+			t.Errorf("shard %d holds %d items, want >= %d (skewed hash?)", i, items, n/se.NumShards()/4)
+		}
+	}
+}
+
+// TestShardedStatsSumProperty drives a deterministic mixed workload through
+// both a single Engine and a ShardedEngine and checks that (a) the sharded
+// aggregate equals the sum of its per-shard stats and (b) the workload-
+// dependent counters match the single-engine run exactly — sharding must
+// not change what the operations do, only where they lock.
+func TestShardedStatsSumProperty(t *testing.T) {
+	single := NewEngine(Config{MemLimit: 32 << 20})
+	se := NewSharded(Config{MemLimit: 32 << 20, Shards: 8})
+	init := uint64(1)
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("k%d", i%317)
+		switch i % 7 {
+		case 0, 1:
+			single.Set(Item{Key: key, Value: []byte(key)})
+			se.Set(Item{Key: key, Value: []byte(key)})
+		case 2:
+			single.Get(key)
+			se.Get(key)
+		case 3:
+			single.Delete(key)
+			se.Delete(key)
+		case 4:
+			single.Add(Item{Key: key, Value: []byte("a")})
+			se.Add(Item{Key: key, Value: []byte("a")})
+		case 5:
+			it, err := single.Get(key)
+			sit, serr := se.Get(key)
+			if (err == nil) != (serr == nil) {
+				t.Fatalf("op %d: get divergence: %v vs %v", i, err, serr)
+			}
+			if err == nil {
+				single.CompareAndSwap(Item{Key: key, Value: []byte("c")}, it.CAS)
+				se.CompareAndSwap(Item{Key: key, Value: []byte("c")}, sit.CAS)
+			}
+		case 6:
+			single.IncrDecr("ctr"+key, 3, &init, 0)
+			se.IncrDecr("ctr"+key, 3, &init, 0)
+		}
+	}
+	agg := se.Stats()
+	var sum Stats
+	for i := 0; i < se.NumShards(); i++ {
+		st := se.ShardStats(i)
+		sum.CmdGet += st.CmdGet
+		sum.CmdSet += st.CmdSet
+		sum.GetHits += st.GetHits
+		sum.GetMisses += st.GetMisses
+		sum.DeleteHits += st.DeleteHits
+		sum.DeleteMisses += st.DeleteMisses
+		sum.CasHits += st.CasHits
+		sum.CasMisses += st.CasMisses
+		sum.CasBadval += st.CasBadval
+		sum.CurrItems += st.CurrItems
+		sum.TotalItems += st.TotalItems
+		sum.Bytes += st.Bytes
+		sum.Evictions += st.Evictions
+		sum.Expired += st.Expired
+	}
+	sum.LimitMaxMB = agg.LimitMaxMB
+	if agg != sum {
+		t.Errorf("aggregate != per-shard sum:\n agg: %+v\n sum: %+v", agg, sum)
+	}
+	ss := single.Stats()
+	ss.LimitMaxMB = agg.LimitMaxMB // limit differs only by rounding of the split
+	if agg != ss {
+		t.Errorf("sharded counters diverge from single-engine run:\n sharded: %+v\n single:  %+v", agg, ss)
+	}
+}
+
+// TestShardedConcurrentStress hammers the sharded engine from many
+// goroutines with colliding keys and every mutating op; run under -race it
+// checks the per-shard locking, and afterwards the aggregate counters must
+// balance (hits+misses = cmds, bytes non-negative, items consistent).
+func TestShardedConcurrentStress(t *testing.T) {
+	se := NewSharded(Config{MemLimit: 8 << 20, Shards: 8})
+	const workers = 16
+	const ops = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			init := uint64(w)
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("shared-%d", i%29) // force cross-goroutine collisions
+				switch i % 6 {
+				case 0:
+					se.Set(Item{Key: key, Value: []byte(key)})
+				case 1:
+					if it, err := se.Get(key); err == nil {
+						se.CompareAndSwap(Item{Key: key, Value: []byte("swap")}, it.CAS)
+					}
+				case 2:
+					se.Delete(key)
+				case 3:
+					se.IncrDecr("ctr-"+key, 1, &init, 0)
+				case 4:
+					se.Add(Item{Key: key, Value: []byte("add")})
+				case 5:
+					se.Get(key)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := se.Stats()
+	if st.GetHits+st.GetMisses != st.CmdGet {
+		t.Errorf("get accounting: hits %d + misses %d != cmds %d", st.GetHits, st.GetMisses, st.CmdGet)
+	}
+	if st.Bytes < 0 || st.CurrItems < 0 {
+		t.Errorf("negative gauges: bytes=%d curr=%d", st.Bytes, st.CurrItems)
+	}
+	if st.CurrItems != int64(se.Len()) {
+		t.Errorf("CurrItems %d != Len %d", st.CurrItems, se.Len())
+	}
+}
+
+func TestHashKeyDistribution(t *testing.T) {
+	// Short sequential keys must not collapse onto a few shard indices.
+	const shards = 16
+	counts := make([]int, shards)
+	for i := 0; i < 16000; i++ {
+		counts[hashKey(fmt.Sprintf("k%d", i))&(shards-1)]++
+	}
+	for i, c := range counts {
+		if c < 500 || c > 1500 {
+			t.Errorf("shard %d gets %d/16000 keys (poor mixing)", i, c)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package hbb
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// expWorkers is the number of worker goroutines parallelFor spreads
+// experiment cells over. 1 (the default) runs everything serially.
+var expWorkers atomic.Int64
+
+func init() { expWorkers.Store(1) }
+
+// SetParallelism sets how many experiment cells run concurrently (bbench's
+// -parallel flag). Values below 1 are clamped to 1 (serial).
+//
+// Parallelism never changes results: each cell builds its own Testbed whose
+// discrete-event simulation is single-threaded and seeded at construction,
+// so cells share no mutable state and every table is assembled in the same
+// deterministic order regardless of worker count.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	expWorkers.Store(int64(n))
+}
+
+// Parallelism returns the current experiment worker count.
+func Parallelism() int { return int(expWorkers.Load()) }
+
+// parallelFor runs f(i) for every i in [0, n) across min(Parallelism(), n)
+// goroutines and returns when all calls finish. Each f(i) must be
+// self-contained (own Testbed / sim.Env) and publish its result to index i
+// of a pre-sized slice; the caller then assembles output in index order, so
+// tables come out byte-identical at any worker count.
+func parallelFor(n int, f func(i int)) {
+	w := Parallelism()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

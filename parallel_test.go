@@ -1,0 +1,51 @@
+package hbb
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	defer SetParallelism(1)
+	for _, workers := range []int{1, 3, 8} {
+		SetParallelism(workers)
+		const n = 100
+		var hits [n]atomic.Int64
+		parallelFor(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+	SetParallelism(0)
+	if Parallelism() != 1 {
+		t.Errorf("SetParallelism(0) should clamp to 1, got %d", Parallelism())
+	}
+	parallelFor(0, func(int) { t.Error("f called for n=0") })
+}
+
+// TestParallelRunsAreDeterministic reruns experiments with a worker pool
+// and requires byte-identical tables: every cell owns an independent,
+// seeded, single-threaded simulation, so worker count must never leak into
+// results. fig1 (pure sim sweep) and fig9 (testbed + fault injection) cover
+// both experiment styles cheaply.
+func TestParallelRunsAreDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full experiment cells")
+	}
+	defer SetParallelism(1)
+	for _, id := range []string{"fig1", "fig9"} {
+		e, ok := ExperimentByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		SetParallelism(1)
+		serial := e.Run(ScaleSmall).String()
+		SetParallelism(4)
+		parallel := e.Run(ScaleSmall).String()
+		if serial != parallel {
+			t.Errorf("%s: parallel output differs from serial\nserial:\n%s\nparallel:\n%s", id, serial, parallel)
+		}
+	}
+}
