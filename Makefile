@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test vet race bench bench-smoke stress repro tools clean
+.PHONY: all test vet race bench bench-smoke bench-kernel stress repro tools clean
 
 all: test
 
@@ -16,16 +16,22 @@ race:
 	go test -race ./...
 
 # Full micro-benchmark suite with allocation stats, summarized to
-# BENCH_2.json (KV engine sharding, wire codec, pipelined client).
+# BENCH_3.json (DES kernel fast path: indexed event heap, callback timers,
+# pooled process shells).
 bench: tools
 	go test -run '^$$' -bench . -benchmem ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
-	./bin/benchjson -out BENCH_2.json -note "host: $$(nproc) CPU core(s); parallel benchmarks need a multi-core host to show contention-relief speedups" < bench.out
+	./bin/benchjson -out BENCH_3.json -note "host: $$(nproc) CPU core(s); kernel fast-path PR — compare Sim*/Pipe*/Netsim* allocs/op against BENCH_2-era baselines" < bench.out
 	rm -f bench.out
 
 # One-iteration benchmark pass: proves every benchmark still compiles and
 # runs without burning CI time on stable numbers.
 bench-smoke:
 	go test -run '^$$' -bench . -benchmem -benchtime 1x ./...
+
+# Just the simulation-kernel micro-benchmarks (sleep/timer/spawn/timeout,
+# pipe, netsim RPC/cast) — the ones the kernel fast path is judged by.
+bench-kernel:
+	go test -run '^$$' -bench 'Sim|Pipe|Netsim' -benchmem ./internal/sim/ ./internal/netsim/
 
 # Concurrency stress tests under the race detector: sharded engine, TCP
 # server, and pipelined client hammered by colliding goroutines.

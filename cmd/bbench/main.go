@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"hbb"
+	"hbb/internal/profiling"
 )
 
 func main() {
@@ -29,9 +30,23 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		backends = flag.String("backends", "", "comma-separated backends the macro-benchmarks compare (default: the paper's five; registered: "+strings.Join(hbb.BackendNames(), ",")+")")
 		parallel = flag.Int("parallel", 1, "worker goroutines for experiment cells; with -experiment all, whole experiments also run concurrently. Each cell is an independent seeded simulation, so output is identical at any value")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 	hbb.SetParallelism(*parallel)
+
+	stopCPU, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbench:", err)
+		os.Exit(1)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := profiling.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "bbench:", err)
+		}
+	}()
 
 	if *backends != "" {
 		var bs []hbb.Backend

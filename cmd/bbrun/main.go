@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"hbb"
+	"hbb/internal/profiling"
 )
 
 func main() {
@@ -28,8 +29,22 @@ func main() {
 		hardware = flag.String("hardware", "hpc-local", "hpc-local | diskless")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		trace    = flag.String("trace", "", "write a per-operation FS trace to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopCPU, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbrun:", err)
+		os.Exit(1)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := profiling.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "bbrun:", err)
+		}
+	}()
 
 	b, err := hbb.ParseBackend(*backend)
 	if err != nil {

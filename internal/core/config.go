@@ -120,6 +120,13 @@ type Config struct {
 	// buffer as clean cache fills (when the owning server has free space),
 	// so repeated reads of evicted data regain RDMA speed.
 	ReadmitOnRead bool
+	// FlushTick, when positive, bounds how long a FlushDeferred block may
+	// sit parked dirty: the first deferral arms a kernel callback timer
+	// (sim.Env.After — no ticker process), and when it fires every parked
+	// block is promoted into the flusher queues. Zero (the default)
+	// disables the tick, leaving promotion to drains, shutdown, and buffer
+	// pressure, exactly as before the timer existed.
+	FlushTick time.Duration
 	// AdaptiveBurstBlocks is the bb-adaptive traffic detector's high
 	// watermark: when the number of in-flight blocks (streaming writers
 	// plus flusher backlog) reaches it, the policy degrades from

@@ -2,6 +2,41 @@ package core
 
 import "hbb/internal/sim"
 
+// armFlushTick schedules the periodic deferred-promotion tick if the
+// configuration enables it and none is pending. The tick is a kernel
+// callback timer, not a ticker process: it costs no goroutine, fires inline
+// in the scheduler loop, and is only re-armed while deferred blocks remain,
+// so a drained burst buffer never keeps the simulation's event queue alive.
+func (fs *BurstFS) armFlushTick() {
+	if fs.cfg.FlushTick <= 0 || fs.tickArmed {
+		return
+	}
+	fs.tickArmed = true
+	fs.flushTick = fs.cl.Env.After(fs.cfg.FlushTick, fs.flushTickFire)
+}
+
+// flushTickFire promotes every parked FlushDeferred block into the flusher
+// queues. promoteDeferred may wake blocked flusher processes, which is safe
+// from callback context (waking schedules an event; it never yields).
+func (fs *BurstFS) flushTickFire() {
+	fs.tickArmed = false
+	promoted := 0
+	for _, s := range fs.servers {
+		if !s.failed {
+			promoted += s.promoteDeferred()
+		}
+	}
+	if promoted > 0 {
+		fs.metrics.Counter("flush.tick.promotions").Add(int64(promoted))
+	}
+	for _, s := range fs.servers {
+		if len(s.deferred) > 0 {
+			fs.armFlushTick()
+			return
+		}
+	}
+}
+
 // flusherLoop is one background flusher of a buffer server: it drains the
 // dirty queue, copying blocks from the KV buffer to Lustre. Reading the
 // block out of server memory is effectively free next to the Lustre write,

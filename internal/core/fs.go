@@ -117,6 +117,10 @@ type BurstFS struct {
 	// openBlocks counts blocks currently being streamed by writers — a
 	// live traffic signal policies may read (see adaptivePolicy).
 	openBlocks int
+	// flushTick is the armed deferred-promotion timer (see Config.FlushTick
+	// and flusher.go); tickArmed keeps at most one pending at a time.
+	flushTick sim.Timer
+	tickArmed bool
 }
 
 var _ dfs.FileSystem = (*BurstFS)(nil)
@@ -199,8 +203,13 @@ func (fs *BurstFS) Start() {
 }
 
 // Shutdown stops the flusher pools once their queues drain. Deferred
-// blocks are promoted first so nothing dirty is left behind.
+// blocks are promoted first so nothing dirty is left behind, and a pending
+// flush tick is cancelled so it cannot keep the event queue alive.
 func (fs *BurstFS) Shutdown() {
+	if fs.tickArmed {
+		fs.cl.Env.Cancel(fs.flushTick)
+		fs.tickArmed = false
+	}
 	for _, s := range fs.servers {
 		s.promoteDeferred()
 		s.dirtyQueue.Close()

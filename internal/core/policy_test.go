@@ -312,6 +312,30 @@ func TestDeferredPolicyParksUntilDrain(t *testing.T) {
 	})
 }
 
+func TestDeferredPolicyFlushTickPromotes(t *testing.T) {
+	cfg := testCfg(SchemeAsyncLustre)
+	cfg.Policy = "test-deferred"
+	cfg.FlushTick = 500 * time.Millisecond
+	rig := newRig(2, cfg)
+	const size = 32 * mib // 2 blocks
+	rig.run(t, func(p *sim.Proc) {
+		writeFile(t, p, rig.fs, 0, "/f", size)
+		p.Sleep(100 * time.Millisecond) // inside the tick window: still parked
+		if got := rig.fs.Stats().BytesFlushed; got != 0 {
+			t.Errorf("flushed %d before the tick, want 0", got)
+		}
+		// Past the tick the parked blocks must reach Lustre with no drain,
+		// no shutdown, and no buffer pressure.
+		p.Sleep(5 * time.Second)
+		if got := rig.fs.Stats().BytesFlushed; got != size {
+			t.Errorf("flushed %d after the tick, want %d", got, size)
+		}
+	})
+	if got := rig.fs.Metrics().Counter("flush.tick.promotions").Value(); got != 2 {
+		t.Errorf("tick promoted %d blocks, want 2", got)
+	}
+}
+
 func TestDeferredPolicyFlushedOnShutdown(t *testing.T) {
 	cfg := testCfg(SchemeAsyncLustre)
 	cfg.Policy = "test-deferred"

@@ -395,6 +395,7 @@ func (w *bbWriter) finishBlock(p *sim.Proc) error {
 	case FlushDeferred:
 		b.state = stateDirty
 		b.primary().deferred = append(b.primary().deferred, b)
+		fs.armFlushTick()
 	default: // FlushAsync
 		b.state = stateDirty
 		b.primary().dirtyQueue.Put(b)

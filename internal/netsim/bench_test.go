@@ -1,0 +1,48 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"hbb/internal/sim"
+)
+
+// BenchmarkNetsimRPC measures a small request/response RPC over the RDMA
+// profile: two latency sleeps, two transfers, and the handler, all inside
+// the caller's process.
+func BenchmarkNetsimRPC(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.New(1)
+	nw := New(e, RDMA, 2)
+	nw.Register(1, "echo", func(p *sim.Proc, m *Msg) Reply { return Reply{Size: m.Size} })
+	e.Spawn("c", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if rep := nw.Call(p, &Msg{From: 0, To: 1, Service: "echo", Op: "e", Size: 4096}); rep.Err != nil {
+				b.Errorf("call: %v", rep.Err)
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkNetsimCast measures one-way delivery: each cast pays the send
+// and spawns a handler process on the destination.
+func BenchmarkNetsimCast(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.New(1)
+	nw := New(e, RDMA, 2)
+	nw.Register(1, "bg", func(p *sim.Proc, m *Msg) Reply { return Reply{} })
+	e.Spawn("c", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if err := nw.Cast(p, &Msg{From: 0, To: 1, Service: "bg", Op: "x", Size: 64}); err != nil {
+				b.Errorf("cast: %v", err)
+				return
+			}
+			p.Sleep(time.Microsecond) // let the handler drain so casts stay sequential
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}

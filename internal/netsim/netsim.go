@@ -90,18 +90,25 @@ type iface struct {
 	recv       int64
 }
 
+// service is one registered handler plus its precomputed cast process
+// name, so per-message delivery formats nothing.
+type service struct {
+	h        Handler
+	castName string
+}
+
 // Network is the fabric.
 type Network struct {
 	env      *sim.Env
 	prof     Profile
 	legacy   *Profile
 	ifaces   []*iface
-	services map[NodeID]map[string]Handler
+	services map[NodeID]map[string]*service
 }
 
 // New returns a fabric with n nodes using the given transport profile.
 func New(env *sim.Env, prof Profile, n int) *Network {
-	nw := &Network{env: env, prof: prof, services: make(map[NodeID]map[string]Handler)}
+	nw := &Network{env: env, prof: prof, services: make(map[NodeID]map[string]*service)}
 	for i := 0; i < n; i++ {
 		nw.AddNode()
 	}
@@ -295,14 +302,14 @@ func (nw *Network) RDMAWrite(p *sim.Proc, local, remote NodeID, n int64) error {
 
 // Register installs a service handler on a node. Registering the same
 // service twice replaces the handler.
-func (nw *Network) Register(node NodeID, service string, h Handler) {
+func (nw *Network) Register(node NodeID, name string, h Handler) {
 	nw.checkNode(node)
 	m := nw.services[node]
 	if m == nil {
-		m = make(map[string]Handler)
+		m = make(map[string]*service)
 		nw.services[node] = m
 	}
-	m[service] = h
+	m[name] = &service{h: h, castName: fmt.Sprintf("cast:%s@%d", name, node)}
 }
 
 // Call performs a request/response RPC: the request travels src→dst, the
@@ -312,8 +319,8 @@ func (nw *Network) Call(p *sim.Proc, m *Msg) Reply {
 	if err := nw.checkLink(m.From, m.To); err != nil {
 		return Reply{Err: err}
 	}
-	h := nw.services[m.To][m.Service]
-	if h == nil {
+	svc := nw.services[m.To][m.Service]
+	if svc == nil {
 		return Reply{Err: fmt.Errorf("%w: %q on node %d", ErrNoService, m.Service, m.To)}
 	}
 	prof := nw.chooseTransport(m.Legacy)
@@ -321,7 +328,7 @@ func (nw *Network) Call(p *sim.Proc, m *Msg) Reply {
 		p.Sleep(prof.SWOverhead + prof.Latency + prof.SWOverhead)
 		nw.transferVia(p, m.From, m.To, m.Size, m.Legacy)
 	}
-	rep := h(p, m)
+	rep := svc.h(p, m)
 	if m.From != m.To {
 		// The destination may have failed while the handler "ran".
 		if nw.ifaces[m.To].down {
@@ -333,14 +340,18 @@ func (nw *Network) Call(p *sim.Proc, m *Msg) Reply {
 	return rep
 }
 
-// Cast delivers a one-way message and runs the handler in a fresh process
-// on the destination; the caller blocks only for the send.
+// Cast delivers a one-way message and runs the handler in a process on the
+// destination; the caller blocks only for the send. Handlers may block
+// (sleep, transfer), so delivery cannot run as an inline callback timer;
+// instead it rides the kernel's pooled spawn path with a name precomputed
+// at Register time, so per-message delivery allocates no goroutine and
+// formats no string.
 func (nw *Network) Cast(p *sim.Proc, m *Msg) error {
 	if err := nw.checkLink(m.From, m.To); err != nil {
 		return err
 	}
-	h := nw.services[m.To][m.Service]
-	if h == nil {
+	svc := nw.services[m.To][m.Service]
+	if svc == nil {
 		return fmt.Errorf("%w: %q on node %d", ErrNoService, m.Service, m.To)
 	}
 	if m.From != m.To {
@@ -348,8 +359,8 @@ func (nw *Network) Cast(p *sim.Proc, m *Msg) error {
 		p.Sleep(prof.SWOverhead + prof.Latency)
 		nw.transferVia(p, m.From, m.To, m.Size, m.Legacy)
 	}
-	nw.env.Spawn(fmt.Sprintf("cast:%s.%s@%d", m.Service, m.Op, m.To), func(q *sim.Proc) {
-		h(q, m)
+	nw.env.Spawn(svc.castName, func(q *sim.Proc) {
+		svc.h(q, m)
 	})
 	return nil
 }

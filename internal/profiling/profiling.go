@@ -1,0 +1,47 @@
+// Package profiling wires the CLIs' -cpuprofile/-memprofile flags to
+// runtime/pprof, so kernel hot paths can be profiled on real experiment
+// workloads rather than only on micro-benchmarks.
+package profiling
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins writing a CPU profile to path and returns the function
+// that stops the profile and closes the file. An empty path is a no-op;
+// the returned stop function is always safe to call.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap dumps an allocation profile (pprof "allocs", which includes
+// in-use space) to path. An empty path is a no-op. A GC runs first so the
+// in-use numbers reflect live data.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.Lookup("allocs").WriteTo(f, 0)
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSimSleep measures the kernel's hottest path: one process
+// sleeping repeatedly, i.e. one schedule + one pop + one resume handshake
+// per iteration.
+func BenchmarkSimSleep(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkSimTimer measures one-shot deferred work on the callback timer
+// API: a chain of b.N Env.After callbacks each firing one microsecond after
+// the last — no goroutine, no handshake, just heap traffic.
+func BenchmarkSimTimer(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(time.Microsecond, tick)
+		}
+	}
+	e.After(time.Microsecond, tick)
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkSimSpawn measures process startup/teardown: b.N sequential
+// one-shot processes.
+func BenchmarkSimSpawn(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	e.Spawn("driver", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			e.Spawn("shot", func(q *Proc) {})
+			p.Sleep(0) // requeue behind the child so it runs to completion
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkSimWaitTimeout measures the timed-wait path where the event
+// wins the race, so every iteration leaves a cancelled far-future timeout
+// behind (the tombstone case).
+func BenchmarkSimWaitTimeout(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	e.Spawn("w", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ev := &Event{}
+			e.Spawn("trig", func(q *Proc) {
+				q.Sleep(time.Microsecond)
+				ev.Trigger()
+			})
+			ev.WaitTimeout(p, time.Hour)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkPipeTransfer measures the bandwidth-resource path: one flow
+// moving 4 MiB (4 chunk reservations + sleeps) per iteration.
+func BenchmarkPipeTransfer(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	pipe := NewPipe("nic", 10e9)
+	e.Spawn("t", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			pipe.Transfer(p, 4<<20)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stressTrace runs a seeded kitchen-sink workload — sleepers, callback
+// timers, semaphore contenders, pipe transfers, timed waits, store traffic,
+// and process churn — and returns its full event trace. Two runs with the
+// same seed must produce byte-identical traces; that is the kernel's
+// determinism contract, and the trace touches every wake path the kernel
+// has (scheduled sleep, inline callback, unblock, timeout, pooled spawn).
+func stressTrace(seed int64) string {
+	e := New(seed)
+	var tr []string
+	note := func(who, what string) {
+		tr = append(tr, fmt.Sprintf("%d %s %s", int64(e.Now()), who, what))
+	}
+	sem := NewSemaphore(3)
+	pipe := NewPipe("nic", 1e9)
+	st := NewStore[int]()
+	var wg WaitGroup
+
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		e.Spawn(fmt.Sprintf("sleep%d", i), func(p *Proc) {
+			defer wg.Done()
+			for j := 0; j < 15; j++ {
+				p.Sleep(time.Duration(e.Rand().Intn(5000)) * time.Nanosecond)
+				note(p.Name(), "woke")
+			}
+		})
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		e.Spawn(fmt.Sprintf("sem%d", i), func(p *Proc) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				n := 1 + e.Rand().Intn(3)
+				sem.Acquire(p, n)
+				p.Sleep(time.Duration(e.Rand().Intn(2000)) * time.Nanosecond)
+				sem.Release(n)
+				note(p.Name(), fmt.Sprintf("released %d", n))
+			}
+		})
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		e.Spawn(fmt.Sprintf("pipe%d", i), func(p *Proc) {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				pipe.Transfer(p, int64(1+e.Rand().Intn(1<<16)))
+				note(p.Name(), "sent")
+			}
+		})
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		e.Spawn(fmt.Sprintf("tw%d", i), func(p *Proc) {
+			defer wg.Done()
+			for j := 0; j < 6; j++ {
+				ev := &Event{}
+				delay := time.Duration(e.Rand().Intn(3000)) * time.Nanosecond
+				e.Spawn("trig", func(q *Proc) {
+					q.Sleep(delay)
+					ev.Trigger()
+				})
+				won := ev.WaitTimeout(p, 1500*time.Nanosecond)
+				note(p.Name(), fmt.Sprintf("wait=%v", won))
+			}
+		})
+	}
+	wg.Add(1)
+	e.Spawn("producer", func(p *Proc) {
+		defer wg.Done()
+		for j := 0; j < 10; j++ {
+			p.Sleep(time.Duration(e.Rand().Intn(4000)) * time.Nanosecond)
+			st.Put(j)
+		}
+		st.Close()
+	})
+	wg.Add(1)
+	e.Spawn("consumer", func(p *Proc) {
+		defer wg.Done()
+		for {
+			v, ok := st.Get(p)
+			if !ok {
+				return
+			}
+			note(p.Name(), fmt.Sprintf("got %d", v))
+		}
+	})
+	// Self-rescheduling callback timer chain interleaved with everything
+	// else; churn one-shot processes from callback context to exercise the
+	// shell pool.
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		note("timer", fmt.Sprintf("tick %d", ticks))
+		if ticks%4 == 0 {
+			e.Spawn("churn", func(p *Proc) {
+				p.Sleep(time.Duration(e.Rand().Intn(500)) * time.Nanosecond)
+				note(p.Name(), "done")
+			})
+		}
+		if ticks < 40 {
+			e.After(time.Duration(500+e.Rand().Intn(1000))*time.Nanosecond, tick)
+		}
+	}
+	e.After(time.Microsecond, tick)
+
+	end := e.Run()
+	tr = append(tr, fmt.Sprintf("end %d pending %d deadlocked %v", int64(end), e.Pending(), e.Deadlocked()))
+	return strings.Join(tr, "\n")
+}
+
+func TestKernelDeterminismStress(t *testing.T) {
+	base := stressTrace(7)
+	if again := stressTrace(7); again != base {
+		t.Fatal("same seed produced a different trace across runs")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	one := stressTrace(7)
+	runtime.GOMAXPROCS(4)
+	four := stressTrace(7)
+	runtime.GOMAXPROCS(prev)
+	if one != base {
+		t.Fatal("GOMAXPROCS=1 trace differs from baseline")
+	}
+	if four != base {
+		t.Fatal("GOMAXPROCS=4 trace differs from baseline")
+	}
+	// Sanity: the trace actually captures scheduling decisions.
+	if stressTrace(8) == base {
+		t.Fatal("different seeds produced identical traces; trace is not sensitive to scheduling")
+	}
+}

@@ -16,8 +16,11 @@ type waiter struct {
 	p *Proc
 	// fired guards against double-resume when a wait carries a timeout:
 	// whichever of {event, timeout} fires first flips it, and the loser's
-	// scheduled wake is cancelled or ignored.
+	// pending timer is cancelled.
 	fired bool
+	// timer is the pending timeout callback, if the wait carries one;
+	// Trigger cancels it eagerly so no tombstone lingers in the event queue.
+	timer Timer
 }
 
 // Triggered reports whether the event has fired.
@@ -35,6 +38,14 @@ func (ev *Event) Trigger() {
 			continue
 		}
 		w.fired = true
+		if w.timer != (Timer{}) {
+			// Remove the losing timeout from the event queue right away:
+			// it can no longer fire, and eager removal keeps a workload
+			// that repeatedly wins timed waits from accumulating far-future
+			// tombstones (and from a spurious second wake if the timeout
+			// lands on the same virtual instant as this trigger).
+			w.p.env.Cancel(w.timer)
+		}
 		w.p.unblock(wakeEvent)
 	}
 	ev.waiters = nil
@@ -68,17 +79,19 @@ func (ev *Event) WaitTimeout(p *Proc, d time.Duration) bool {
 	ev.waiters = live
 	w := &waiter{p: p}
 	ev.waiters = append(ev.waiters, w)
-	cancelled := false
-	tev := p.env.scheduleAt(p.env.now+int64(d), p, wakeTimeout)
-	tev.cancelled = &cancelled
-	reason := p.block()
-	if reason == wakeEvent {
-		cancelled = true // discard the pending timeout wake
-		return true
-	}
-	// Timed out: mark the waiter dead so a later Trigger skips it.
-	w.fired = true
-	return false
+	// The timeout is a callback timer: it fires inline on the scheduler
+	// goroutine and wakes the waiter directly, with no timer process and no
+	// extra handshake. If the event triggers first, Trigger cancels it.
+	env := p.env
+	w.timer = env.After(d, func() {
+		if w.fired {
+			return
+		}
+		// Timed out: mark the waiter dead so a later Trigger skips it.
+		w.fired = true
+		env.dispatch(w.p, wakeTimeout)
+	})
+	return p.block() == wakeEvent
 }
 
 // WaitGroup counts outstanding work items on the virtual clock, analogous

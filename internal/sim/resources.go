@@ -66,6 +66,10 @@ func (s *Semaphore) Release(n int) {
 			break
 		}
 		s.used += w.n
+		// Nil the popped slot before reslicing: the backing array survives
+		// the pop, and a long-lived semaphore must not pin released waiters
+		// (and their processes) for its whole lifetime.
+		s.queue[0] = nil
 		s.queue = s.queue[1:]
 		w.p.unblock(wakeEvent)
 	}

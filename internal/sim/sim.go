@@ -10,11 +10,17 @@
 //
 // Processes are ordinary goroutines, but the handshake with the scheduler
 // guarantees that no two of them ever execute simultaneously, so process
-// code needs no locking to touch shared simulation state.
+// code needs no locking to touch shared simulation state. The kernel keeps
+// the hot path lean in three ways: events live in a flat indexed 4-ary heap
+// with a slot free list (scheduling allocates nothing in steady state and
+// cancellation is an O(log n) removal, see heap.go); one-shot deferred work
+// can run as an inline callback timer (At, After) on the scheduler's own
+// goroutine, paying no handshake at all; and finished process goroutines
+// park in a shell pool that Spawn reuses, so process churn inside a run
+// costs no goroutine or channel creation.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -27,10 +33,14 @@ import (
 type Env struct {
 	now     int64 // virtual time in nanoseconds
 	seq     uint64
-	events  eventHeap
+	q       eventQueue
 	yieldCh chan struct{} // process -> scheduler handshake
 	rng     *rand.Rand
 	procs   map[*Proc]struct{}
+	// pool holds idle process shells (goroutine + resume channel) awaiting
+	// reuse by Spawn. Released when a run returns so a drained environment
+	// pins no goroutines.
+	pool    []*Proc
 	nextID  int
 	failure any // value from a panicking process, re-raised by Run
 	running bool
@@ -40,7 +50,7 @@ type Env struct {
 // fixes the environment's random stream; equal seeds give identical runs.
 func New(seed int64) *Env {
 	return &Env{
-		yieldCh: make(chan struct{}),
+		yieldCh: make(chan struct{}, 1),
 		rng:     rand.New(rand.NewSource(seed)),
 		procs:   make(map[*Proc]struct{}),
 	}
@@ -53,6 +63,11 @@ func (e *Env) Now() time.Duration { return time.Duration(e.now) }
 // Rand returns the environment's deterministic random stream.
 func (e *Env) Rand() *rand.Rand { return e.rng }
 
+// Pending returns the number of scheduled events: process wakes plus
+// callback timers. Cancelled timers leave the queue immediately, so a
+// workload that keeps cancelling timed waits sees a bounded count here.
+func (e *Env) Pending() int { return e.q.Len() }
+
 // Proc is a simulation process. A Proc value is only valid inside the
 // function passed to Spawn (and functions it calls); it is the handle
 // through which the process sleeps and blocks.
@@ -61,7 +76,14 @@ type Proc struct {
 	id     int
 	name   string
 	resume chan wakeReason
-	done   bool
+	// body is the current incarnation's function; shells are reused across
+	// Spawn calls, so it is set per incarnation and cleared on return.
+	body func(p *Proc)
+	// gen counts incarnations of this shell. Scheduled wakes record the
+	// generation they target, so a wake that outlives its process can never
+	// resume a later incarnation by mistake.
+	gen  uint32
+	done bool
 	// blocked marks a process that yielded without a scheduled wake; a
 	// synchronization primitive is responsible for waking it.
 	blocked bool
@@ -83,56 +105,112 @@ func (p *Proc) Env() *Env { return p.env }
 // Now is shorthand for p.Env().Now().
 func (p *Proc) Now() time.Duration { return p.env.Now() }
 
-type event struct {
-	t      int64
-	seq    uint64
-	p      *Proc
-	reason wakeReason
-	// cancelled events stay in the heap but are skipped on pop.
-	cancelled *bool
+// scheduleProc enqueues a wake for p's current incarnation.
+func (e *Env) scheduleProc(t int64, p *Proc, r wakeReason) Timer {
+	seq := e.seq
+	e.seq++
+	return e.q.push(t, seq, p, p.gen, nil, r)
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// At schedules fn to run at virtual time t (clamped to the current time),
+// inline on the scheduler goroutine: no process, no goroutine, no channel
+// handshake. Callbacks must not call blocking process operations — they
+// have no Proc — but may Spawn, Trigger events, schedule further timers,
+// and touch any simulation state. A callback that panics aborts the run
+// with that panic. The returned Timer cancels the callback via Cancel.
+func (e *Env) At(t time.Duration, fn func()) Timer {
+	if fn == nil {
+		panic("sim: At with nil callback")
 	}
-	return h[i].seq < h[j].seq
+	ti := int64(t)
+	if ti < e.now {
+		ti = e.now
+	}
+	seq := e.seq
+	e.seq++
+	return e.q.push(ti, seq, nil, 0, fn, wakeEvent)
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); ev := old[n-1]; *h = old[:n-1]; return ev }
-func (e *Env) schedule(ev *event) { ev.seq = e.seq; e.seq++; heap.Push(&e.events, ev) }
-func (e *Env) scheduleAt(t int64, p *Proc, r wakeReason) *event {
-	ev := &event{t: t, p: p, reason: r}
-	e.schedule(ev)
-	return ev
+
+// After schedules fn to run d of virtual time from now; see At.
+func (e *Env) After(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(time.Duration(e.now)+d, fn)
 }
+
+// Cancel revokes a scheduled callback or timed wake before it fires,
+// reporting whether it was still pending. Cancelling the zero Timer or one
+// that already fired is a no-op.
+func (e *Env) Cancel(tm Timer) bool { return e.q.cancel(tm) }
 
 // Spawn starts a new process executing fn. It may be called before Run or
 // from inside a running process; in both cases the new process begins at
 // the current virtual time, after already-scheduled same-time events.
+// Spawn reuses an idle shell from the pool when one is available, so
+// steady-state process churn creates no goroutines.
 func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 	e.nextID++
-	p := &Proc{env: e, id: e.nextID, name: name, resume: make(chan wakeReason)}
+	var p *Proc
+	if n := len(e.pool) - 1; n >= 0 {
+		p = e.pool[n]
+		e.pool[n] = nil
+		e.pool = e.pool[:n]
+		p.done = false
+	} else {
+		p = e.newShell()
+	}
+	p.id = e.nextID
+	p.name = name
+	p.body = fn
 	e.procs[p] = struct{}{}
-	go func() {
-		reason := <-p.resume
-		_ = reason
-		defer func() {
-			if r := recover(); r != nil {
-				e.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
-			}
-			p.done = true
-			delete(e.procs, p)
-			e.yieldCh <- struct{}{}
-		}()
-		fn(p)
-	}()
-	e.scheduleAt(e.now, p, wakeEvent)
+	e.scheduleProc(e.now, p, wakeEvent)
 	return p
+}
+
+// newShell starts a reusable process shell: a goroutine that runs one
+// process body per initial wake and parks in the pool between incarnations.
+func (e *Env) newShell() *Proc {
+	p := &Proc{env: e, resume: make(chan wakeReason, 1)}
+	go func() {
+		for {
+			if _, ok := <-p.resume; !ok {
+				return
+			}
+			e.runBody(p)
+			e.yieldCh <- struct{}{}
+		}
+	}()
+	return p
+}
+
+// runBody executes one process incarnation on the shell's goroutine, then
+// retires the shell to the pool. The pool append is safe without locking:
+// it happens before the shell's yield notification, and the scheduler (and
+// therefore any other process) only runs after receiving that.
+func (e *Env) runBody(p *Proc) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+		}
+		p.done = true
+		p.gen++ // invalidate wakes aimed at this incarnation
+		p.body = nil
+		delete(e.procs, p)
+		e.pool = append(e.pool, p)
+	}()
+	p.body(p)
+}
+
+// releasePool closes idle shells so a drained environment keeps no parked
+// goroutines alive. Shells are cheap to re-create; pooling only needs to
+// pay off within a run, where the churn is.
+func (e *Env) releasePool() {
+	for i, p := range e.pool {
+		close(p.resume)
+		e.pool[i] = nil
+	}
+	e.pool = e.pool[:0]
 }
 
 // Run executes the simulation until no events remain, then returns the
@@ -151,34 +229,49 @@ func (e *Env) RunUntil(limit time.Duration) time.Duration {
 		panic("sim: Run called re-entrantly")
 	}
 	e.running = true
-	defer func() { e.running = false }()
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.cancelled != nil && *ev.cancelled {
-			continue
-		}
-		if limit >= 0 && ev.t > int64(limit) {
-			// Put it back for a later RunUntil call, keeping its original
-			// sequence number so FIFO order is preserved across calls.
-			heap.Push(&e.events, ev)
+	defer func() {
+		e.running = false
+		e.releasePool()
+	}()
+	for e.q.Len() > 0 {
+		t := e.q.minTime()
+		if limit >= 0 && t > int64(limit) {
+			// Leave the event (with its original sequence number, so FIFO
+			// order holds across calls) for a later RunUntil.
 			e.now = int64(limit)
 			break
 		}
-		if ev.t > e.now {
-			e.now = ev.t
+		if t > e.now {
+			e.now = t
 		}
-		p := ev.p
-		if p.done {
-			continue
-		}
-		p.blocked = false
-		p.resume <- ev.reason
-		<-e.yieldCh
-		if e.failure != nil {
-			panic(e.failure)
+		// Batched same-timestamp dispatch: the limit check and clock update
+		// above run once per distinct timestamp; every event at t —
+		// including ones scheduled at t while dispatching — drains here.
+		for e.q.Len() > 0 && e.q.minTime() == t {
+			p, pgen, fn, reason := e.q.pop()
+			if fn != nil {
+				fn() // callback timer: runs inline, no handshake
+				continue
+			}
+			if p.done || p.gen != pgen {
+				continue // wake outlived its process incarnation
+			}
+			e.dispatch(p, reason)
 		}
 	}
 	return e.Now()
+}
+
+// dispatch hands control to p until it yields, then re-raises any process
+// failure. It runs on the scheduler goroutine, either from the event loop
+// or from inside a callback timer that wakes a process.
+func (e *Env) dispatch(p *Proc, r wakeReason) {
+	p.blocked = false
+	p.resume <- r
+	<-e.yieldCh
+	if e.failure != nil {
+		panic(e.failure)
+	}
 }
 
 // Deadlocked returns the names of processes that are blocked on a
@@ -196,7 +289,9 @@ func (e *Env) Deadlocked() []string {
 }
 
 // yield hands control back to the scheduler and blocks until the process
-// is resumed, returning the reason for the wake-up.
+// is resumed, returning the reason for the wake-up. Both channels are
+// single-slot buffered, so each half of the handshake is one deposit plus
+// one park instead of a synchronous rendezvous.
 func (p *Proc) yield() wakeReason {
 	p.env.yieldCh <- struct{}{}
 	return <-p.resume
@@ -210,7 +305,7 @@ func (p *Proc) block() wakeReason {
 
 // unblock schedules p to resume at the current virtual time.
 func (p *Proc) unblock(r wakeReason) {
-	p.env.scheduleAt(p.env.now, p, r)
+	p.env.scheduleProc(p.env.now, p, r)
 }
 
 // Sleep suspends the process for d of virtual time. Negative durations are
@@ -219,6 +314,6 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.env.scheduleAt(p.env.now+int64(d), p, wakeEvent)
+	p.env.scheduleProc(p.env.now+int64(d), p, wakeEvent)
 	p.yield()
 }
