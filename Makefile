@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test vet race bench bench-smoke bench-kernel stress repro tools clean
+.PHONY: all test vet race bench bench-smoke bench-kernel bench-dataplane stress repro tools clean
 
 all: test
 
@@ -16,11 +16,11 @@ race:
 	go test -race ./...
 
 # Full micro-benchmark suite with allocation stats, summarized to
-# BENCH_3.json (DES kernel fast path: indexed event heap, callback timers,
-# pooled process shells).
+# BENCH_4.json (coalescing stage-out PR: StageOutDrain's drain-speedup and
+# ReadAheadStreaming's read-speedup are the headline data-plane metrics).
 bench: tools
 	go test -run '^$$' -bench . -benchmem ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
-	./bin/benchjson -out BENCH_3.json -note "host: $$(nproc) CPU core(s); kernel fast-path PR — compare Sim*/Pipe*/Netsim* allocs/op against BENCH_2-era baselines" < bench.out
+	./bin/benchjson -out BENCH_4.json -note "host: $$(nproc) CPU core(s); stage-out data-plane PR — StageOutDrain drain-speedup / ReadAheadStreaming read-speedup are the new headline metrics; allocs/op must stay level with BENCH_3-era baselines" < bench.out
 	rm -f bench.out
 
 # One-iteration benchmark pass: proves every benchmark still compiles and
@@ -32,6 +32,11 @@ bench-smoke:
 # pipe, netsim RPC/cast) — the ones the kernel fast path is judged by.
 bench-kernel:
 	go test -run '^$$' -bench 'Sim|Pipe|Netsim' -benchmem ./internal/sim/ ./internal/netsim/
+
+# Just the stage-out data-plane benchmarks: coalesced drain vs per-block,
+# streaming readahead, and the tab6 experiment regeneration.
+bench-dataplane:
+	go test -run '^$$' -bench 'StageOutDrain|ReadAheadStreaming|Tab6' -benchmem .
 
 # Concurrency stress tests under the race detector: sharded engine, TCP
 # server, and pipelined client hammered by colliding goroutines.

@@ -122,6 +122,86 @@ func BenchmarkTab4Extensions(b *testing.B) { benchExperiment(b, "tab4") }
 // mode split).
 func BenchmarkTab5PolicyMetrics(b *testing.B) { benchExperiment(b, "tab5") }
 
+// BenchmarkTab6DataPlane regenerates the stage-out data-plane comparison
+// (coalesced flush runs and block readahead vs the seed per-block drain).
+func BenchmarkTab6DataPlane(b *testing.B) { benchExperiment(b, "tab6") }
+
+// drainBurstOnce runs the tab6 checkpoint-burst shape once and returns the
+// simulated drain time: 8 files x 8 blocks through two throttled buffer
+// servers onto a narrow Lustre, then a timed full drain.
+func drainBurstOnce(b *testing.B, coalesced bool) time.Duration {
+	opts := Options{Nodes: 4, Seed: 1, ChunkSize: 4 << 20,
+		BlockSize: 16 << 20, BBServers: 2, BBFlushers: 1,
+		LustreOSTs: 2, LustreStripeCount: 2}
+	if coalesced {
+		opts.BBFlushBatchBlocks = 8
+	}
+	tb, err := New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var drain time.Duration
+	tb.Run(func(ctx *Ctx) {
+		if _, err := ctx.DFSIOWrite(BackendBBAsync, "/bench/drain", 8, 128<<20); err != nil {
+			b.Fatal(err)
+		}
+		start := ctx.Now()
+		ctx.DrainBurstBuffer(BackendBBAsync)
+		drain = ctx.Now() - start
+	})
+	return drain
+}
+
+// BenchmarkStageOutDrain reports the simulated drain time of the seed
+// per-block stage-out and the coalescing scheduler side by side, so both
+// the virtual-time win and the simulator's own alloc cost show up in
+// benchstat diffs.
+func BenchmarkStageOutDrain(b *testing.B) {
+	b.ReportAllocs()
+	var perBlock, coalesced time.Duration
+	for i := 0; i < b.N; i++ {
+		perBlock = drainBurstOnce(b, false)
+		coalesced = drainBurstOnce(b, true)
+	}
+	b.ReportMetric(perBlock.Seconds()*1e3, "per-block-drain-ms")
+	b.ReportMetric(coalesced.Seconds()*1e3, "coalesced-drain-ms")
+	b.ReportMetric(perBlock.Seconds()/coalesced.Seconds(), "drain-speedup")
+}
+
+// BenchmarkReadAheadStreaming reports streaming read throughput with and
+// without block readahead over the same buffered file set.
+func BenchmarkReadAheadStreaming(b *testing.B) {
+	b.ReportAllocs()
+	run := func(readAhead int) float64 {
+		tb, err := New(Options{Nodes: 4, Seed: 1, ChunkSize: 4 << 20,
+			BlockSize: 16 << 20, BBReadAhead: readAhead})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mbps float64
+		tb.Run(func(ctx *Ctx) {
+			if _, err := ctx.DFSIOWrite(BackendBBAsync, "/bench/ra", 8, 64<<20); err != nil {
+				b.Fatal(err)
+			}
+			ctx.DrainBurstBuffer(BackendBBAsync)
+			r, err := ctx.DFSIORead(BackendBBAsync, "/bench/ra")
+			if err != nil {
+				b.Fatal(err)
+			}
+			mbps = r.AggregateMBps()
+		})
+		return mbps
+	}
+	var base, ahead float64
+	for i := 0; i < b.N; i++ {
+		base = run(0)
+		ahead = run(2)
+	}
+	b.ReportMetric(base, "rd-MB/s")
+	b.ReportMetric(ahead, "rd-MB/s-readahead")
+	b.ReportMetric(ahead/base, "read-speedup")
+}
+
 // benchExperimentSet regenerates a bundle of cheap experiments end to end
 // at a given worker count; comparing the Serial and Parallel variants shows
 // the wall-clock win of the parallel experiment runner (bbench -parallel).

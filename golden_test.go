@@ -23,7 +23,14 @@ type goldenRun struct {
 // goldenFingerprint runs the canonical short workload for one backend.
 func goldenFingerprint(t *testing.T, b Backend) goldenRun {
 	t.Helper()
-	tb, err := New(Options{Nodes: 4, Seed: 42, ChunkSize: 4 << 20})
+	return goldenFingerprintOpts(t, b, Options{Nodes: 4, Seed: 42, ChunkSize: 4 << 20})
+}
+
+// goldenFingerprintOpts is goldenFingerprint with an explicit testbed
+// configuration, for goldens that pin non-default data-plane knobs.
+func goldenFingerprintOpts(t *testing.T, b Backend, opts Options) goldenRun {
+	t.Helper()
+	tb, err := New(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,5 +93,25 @@ func TestGoldenDeterminism(t *testing.T) {
 			}
 			_ = time.Duration(got.writeNS)
 		})
+	}
+}
+
+// coalescedGolden pins the coalescing stage-out pipeline's fingerprint:
+// bb-async with 16 MiB blocks (so each 64 MiB golden file spans 4 blocks),
+// FlushBatchBlocks=8 and one block of readahead. It guards the new data
+// plane the same way seedGoldens guards the seed paths — regenerate only
+// for an intentional behaviour change.
+var coalescedGolden = goldenRun{writeNS: 132908661, readNS: 32461625, bytes: 536870912,
+	stats: "w=536870912 r=536870912 f=536870912 rb=32 rl=0 rlu=0 ev=0 st=0", totalNS: 165409742, localUse: 0}
+
+func TestGoldenCoalescing(t *testing.T) {
+	got := goldenFingerprintOpts(t, BackendBBAsync, Options{
+		Nodes: 4, Seed: 42, ChunkSize: 4 << 20, BlockSize: 16 << 20,
+		BBFlushBatchBlocks: 8, BBReadAhead: 1,
+	})
+	t.Logf("actual: {writeNS: %d, readNS: %d, bytes: %d, stats: %q, totalNS: %d, localUse: %d}",
+		got.writeNS, got.readNS, got.bytes, got.stats, got.totalNS, got.localUse)
+	if got != coalescedGolden {
+		t.Errorf("fingerprint drifted:\n got: %+v\nwant: %+v", got, coalescedGolden)
 	}
 }

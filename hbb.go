@@ -236,6 +236,19 @@ type Options struct {
 	// BBReadmitOnRead re-admits Lustre-read blocks into the buffer as
 	// clean cache fills.
 	BBReadmitOnRead bool
+	// BBFlushBatchBlocks enables the coalescing stage-out scheduler when
+	// > 1: dirty blocks are grouped by file and runs of up to this many
+	// adjacent blocks drain to Lustre as one object (one Create + one
+	// metadata round-trip per run), with eviction-pressure work
+	// prioritized. Zero or 1 keeps the seed one-object-per-block drain.
+	BBFlushBatchBlocks int
+	// BBFlushConcurrency overrides BBFlushers as the per-server flusher
+	// count when positive — together with BBFlushBatchBlocks it bounds
+	// in-flight flush bytes per server.
+	BBFlushConcurrency int
+	// BBReadAhead prefetches this many whole blocks ahead of a streaming
+	// reader (source choice + fetch overlap with delivery). Zero disables.
+	BBReadAhead int
 	// ChunkSize sets the streaming granularity (packets, KV items,
 	// stripes). Zero defaults to 1 MiB; large experiments may raise it to
 	// 4–8 MiB to reduce event counts without changing outcomes.
@@ -337,14 +350,17 @@ func New(opts Options) (*Testbed, error) {
 			continue
 		}
 		tb.bb[Backend(i)] = core.New(cl, tb.lustre, core.Config{
-			Policy:         d.policy,
-			Servers:        opts.BBServers,
-			ServerMemory:   opts.BBServerMemory,
-			BlockSize:      opts.BlockSize,
-			ItemChunk:      opts.ChunkSize,
-			Flushers:       opts.BBFlushers,
-			BufferReplicas: opts.BBReplicas,
-			ReadmitOnRead:  opts.BBReadmitOnRead,
+			Policy:           d.policy,
+			Servers:          opts.BBServers,
+			ServerMemory:     opts.BBServerMemory,
+			BlockSize:        opts.BlockSize,
+			ItemChunk:        opts.ChunkSize,
+			Flushers:         opts.BBFlushers,
+			BufferReplicas:   opts.BBReplicas,
+			ReadmitOnRead:    opts.BBReadmitOnRead,
+			FlushBatchBlocks: opts.BBFlushBatchBlocks,
+			FlushConcurrency: opts.BBFlushConcurrency,
+			ReadAhead:        opts.BBReadAhead,
 		})
 	}
 	tb.traced = make(map[Backend]dfs.FileSystem)

@@ -292,8 +292,8 @@ func TestExperimentRegistry(t *testing.T) {
 			t.Errorf("experiment %q incomplete", e.ID)
 		}
 	}
-	if len(seen) != 15 {
-		t.Errorf("%d experiments, want 15 (10 figures + 5 tables)", len(seen))
+	if len(seen) != 16 {
+		t.Errorf("%d experiments, want 16 (10 figures + 6 tables)", len(seen))
 	}
 	if _, ok := ExperimentByID("fig3"); !ok {
 		t.Error("fig3 not found")

@@ -136,6 +136,25 @@ type Config struct {
 	// blocks fall back to this level the policy returns to write-through.
 	// Zero defaults to 1 (hysteresis: Calm < Burst).
 	AdaptiveCalmBlocks int
+	// FlushBatchBlocks, when > 1, enables the coalescing stage-out
+	// scheduler: dirty blocks are grouped by file, runs of adjacent blocks
+	// are flushed as a single Lustre object (one Create + one metadata
+	// round-trip per run instead of per block), and eviction-pressure
+	// promotions jump ahead of background flushes. It caps the number of
+	// blocks per coalesced run. Zero or 1 (the default) keeps the seed
+	// FIFO one-object-per-block behavior byte-identical.
+	FlushBatchBlocks int
+	// FlushConcurrency, when positive, overrides Flushers as the number of
+	// concurrent flusher processes per server — the bound on in-flight
+	// flush bytes (FlushConcurrency × FlushBatchBlocks × BlockSize). Zero
+	// (the default) uses Flushers.
+	FlushConcurrency int
+	// ReadAhead is the number of whole blocks a reader prefetches ahead of
+	// the one it is streaming, overlapping the next block's source choice
+	// and fetch (Lustre metadata + first stripes, or KV lookups) with
+	// current-block delivery. Zero (the default) disables readahead,
+	// keeping seed read behavior.
+	ReadAhead int
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +199,18 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
+
+// effectiveFlushers resolves the flusher-pool size per server:
+// FlushConcurrency when set, else Flushers.
+func (c Config) effectiveFlushers() int {
+	if c.FlushConcurrency > 0 {
+		return c.FlushConcurrency
+	}
+	return c.Flushers
+}
+
+// coalescing reports whether the stage-out scheduler is enabled.
+func (c Config) coalescing() bool { return c.FlushBatchBlocks > 1 }
 
 // policyName resolves the effective policy registry key.
 func (c Config) policyName() string {

@@ -43,6 +43,11 @@ type bbBlock struct {
 	id   int64
 	key  string
 	size int64
+	// file/fileIdx locate the block in its file — the coalescing flush
+	// scheduler groups dirty blocks by file and batches runs of adjacent
+	// fileIdx values into one Lustre object.
+	file    string
+	fileIdx int
 	// state tracks durability; srvs lists the buffer servers holding the
 	// block's payload, primary first (empty once evicted everywhere).
 	state blockState
@@ -52,8 +57,13 @@ type bbBlock struct {
 	localNode netsim.NodeID
 	localDev  *storage.Device
 	// lustrePath is the backing object, set once a flush or sync write
-	// completed.
-	lustrePath string
+	// completed. When the block was flushed as part of a coalesced run,
+	// the object is shared with its neighbors: lustreOff is the block's
+	// byte offset inside it and lustreRunLen the object's total length
+	// (0 for a per-block object).
+	lustrePath   string
+	lustreOff    int64
+	lustreRunLen int64
 	// attempt counts server reassignments, keeping Lustre object names
 	// unique across retries.
 	attempt int
@@ -112,7 +122,9 @@ type BurstFS struct {
 	ring      *hashring.Ring
 	srvByName map[string]*BufferServer
 	nextBlock int64
-	stats     Stats
+	// nextRun numbers coalesced-run Lustre objects (unique across retries).
+	nextRun int64
+	stats   Stats
 	metrics   *metrics.Registry
 	// openBlocks counts blocks currently being streamed by writers — a
 	// live traffic signal policies may read (see adaptivePolicy).
@@ -193,7 +205,7 @@ func (fs *BurstFS) BufferedBytes() int64 {
 // pools are started anyway to drain recovery work uniformly.
 func (fs *BurstFS) Start() {
 	for _, s := range fs.servers {
-		for i := 0; i < fs.cfg.Flushers; i++ {
+		for i := 0; i < fs.cfg.effectiveFlushers(); i++ {
 			s := s
 			fs.cl.Env.Spawn(fmt.Sprintf("%s.flusher%d", s.name, i), func(p *sim.Proc) {
 				s.flusherLoop(p)
@@ -211,7 +223,7 @@ func (fs *BurstFS) Shutdown() {
 		fs.tickArmed = false
 	}
 	for _, s := range fs.servers {
-		s.promoteDeferred()
+		s.promoteDeferred(false)
 		s.dirtyQueue.Close()
 	}
 }
@@ -225,7 +237,8 @@ func (fs *BurstFS) DrainFlushers(p *sim.Proc) {
 			// A promoted block may be handed straight to a blocked flusher
 			// (queue length stays 0 until it runs), so promotion itself
 			// counts as in-flight work.
-			if s.promoteDeferred() > 0 || s.dirtyQueue.Len() > 0 || s.flushing > 0 {
+			promoted, _ := s.promoteDeferred(false)
+			if promoted > 0 || s.dirtyBacklog() > 0 || s.flushing > 0 {
 				busy = true
 				break
 			}
@@ -255,7 +268,9 @@ func (fs *BurstFS) FailServer(i int) {
 			// the new primary's flusher queue.
 			if wasPrimary && (b.state == stateDirty || b.state == stateFlushing) {
 				b.state = stateDirty
-				next.dirtyQueue.Put(b)
+				// A crash requeue is pressure work: the surviving holder is
+				// carrying extra bytes it wants evictable soon.
+				next.enqueueDirty(b, true)
 			}
 			fs.stats.Promotions++
 			continue
@@ -319,6 +334,24 @@ func (fs *BurstFS) blockLustrePath(b *bbBlock) string {
 	return fmt.Sprintf("%s/blk-%d.%d", lustreDir, b.id, b.attempt)
 }
 
+// runLustrePath names the next coalesced-run object. The counter makes
+// every run object unique, so a retried run never collides with the
+// half-written object of its failed attempt.
+func (fs *BurstFS) runLustrePath() string {
+	fs.nextRun++
+	return fmt.Sprintf("%s/run-%d", lustreDir, fs.nextRun)
+}
+
+// openBlockObject opens a block's backing Lustre bytes for streaming:
+// a ranged reader inside the shared run object when the block was flushed
+// coalesced, the whole per-block object otherwise.
+func (fs *BurstFS) openBlockObject(p *sim.Proc, client netsim.NodeID, b *bbBlock) (dfs.Reader, error) {
+	if b.lustreRunLen > 0 {
+		return fs.backing.OpenRange(p, client, b.lustrePath, b.lustreOff, b.size)
+	}
+	return fs.backing.Open(p, client, b.lustrePath)
+}
+
 // pickServers maps a block key to its replica set of live buffer servers.
 func (fs *BurstFS) pickServers(key string) ([]*BufferServer, error) {
 	names := fs.ring.GetN(key, fs.cfg.BufferReplicas)
@@ -364,6 +397,8 @@ func (fs *BurstFS) handleMgr(p *sim.Proc, m *netsim.Msg) netsim.Reply {
 		b := &bbBlock{
 			id:        fs.nextBlock,
 			key:       fmt.Sprintf("blk-%d", fs.nextBlock),
+			file:      req.path,
+			fileIdx:   len(filePayload(f).blocks),
 			state:     stateDirty,
 			localNode: -1,
 		}
@@ -440,6 +475,9 @@ func (fs *BurstFS) deleteBlocks(p *sim.Proc, blocks []*bbBlock) {
 		for _, s := range append([]*BufferServer(nil), b.srvs...) {
 			if !s.failed {
 				s.deleteBlock(b)
+				// The freed bytes may satisfy a writer stalled on this
+				// server; flush progress is the space-available signal.
+				s.signalFlushProgress()
 			}
 			b.dropServer(s)
 		}

@@ -37,6 +37,18 @@ type bbReader struct {
 	pending     int64
 	consumedBlk int64
 	tried       map[string]struct{}
+	// ahead holds prefetched fetch streams by block index
+	// (Config.ReadAhead > 0): the next blocks' source choice and producers
+	// start while the current block streams, overlapping Lustre metadata
+	// and first-stripe latency with delivery.
+	ahead map[int]aheadFetch
+}
+
+// aheadFetch is one prefetched block stream and the source it came from
+// (so a mid-stream fallback knows what was already tried).
+type aheadFetch struct {
+	fetch *sim.Store[packet]
+	src   string
 }
 
 // packet mirrors the HDFS streaming unit: a byte count or an error marker.
@@ -53,13 +65,12 @@ const (
 	srcLustre      = "lustre"
 )
 
-// chooseSource picks the best untried live source for the current block,
-// walking the kinds in the order the policy's ReadSources returns them;
-// for buffered blocks every live in-buffer replica is a distinct source.
-func (r *bbReader) chooseSource() (string, *BufferServer, error) {
-	b := r.blocks[r.idx]
+// chooseSource picks the best untried live source for a block, walking
+// the kinds in the order the policy's ReadSources returns them; for
+// buffered blocks every live in-buffer replica is a distinct source.
+func (r *bbReader) chooseSource(b *bbBlock, tried map[string]struct{}) (string, *BufferServer, error) {
 	try := func(s string) bool {
-		_, done := r.tried[s]
+		_, done := tried[s]
 		return !done
 	}
 	for _, kind := range r.fs.policy.ReadSources(r.fs, b) {
@@ -91,17 +102,15 @@ func (r *bbReader) chooseSource() (string, *BufferServer, error) {
 		dfs.ErrCorrupt, b.id, r.path, b.state)
 }
 
-// startFetch launches the producer for the chosen source.
-func (r *bbReader) startFetch(p *sim.Proc) error {
-	src, srv, err := r.chooseSource()
+// launchFetch picks the best untried source for a block, marks it tried,
+// and starts its producer, returning the source key and packet stream.
+func (r *bbReader) launchFetch(b *bbBlock, tried map[string]struct{}) (string, *sim.Store[packet], error) {
+	src, srv, err := r.chooseSource(b, tried)
 	if err != nil {
-		return err
+		return "", nil, err
 	}
-	r.tried[src] = struct{}{}
-	b := r.blocks[r.idx]
+	tried[src] = struct{}{}
 	out := sim.NewBounded[packet](r.fs.cfg.PrefetchWindow)
-	r.fetch = out
-	r.pending = 0
 	switch {
 	case src == srcLocal:
 		r.fs.stats.ReadsLocal++
@@ -121,7 +130,45 @@ func (r *bbReader) startFetch(p *sim.Proc) error {
 		r.produceLustre(b, out)
 		r.fs.maybeReadmit(r.client, b)
 	}
+	return src, out, nil
+}
+
+// startFetch launches the producer for the current block's chosen source.
+func (r *bbReader) startFetch(p *sim.Proc) error {
+	_, out, err := r.launchFetch(r.blocks[r.idx], r.tried)
+	if err != nil {
+		return err
+	}
+	r.fetch = out
+	r.pending = 0
 	return nil
+}
+
+// prefetchAhead keeps Config.ReadAhead upcoming blocks' fetches in flight
+// while the current block streams. A block with no live source yet is left
+// for the foreground read to surface (or retry once flushes land).
+func (r *bbReader) prefetchAhead() {
+	n := r.fs.cfg.ReadAhead
+	if n <= 0 {
+		return
+	}
+	for i := r.idx + 1; i <= r.idx+n && i < len(r.blocks); i++ {
+		if _, ok := r.ahead[i]; ok {
+			continue
+		}
+		b := r.blocks[i]
+		if b.size == 0 {
+			continue
+		}
+		src, out, err := r.launchFetch(b, make(map[string]struct{}))
+		if err != nil {
+			return
+		}
+		if r.ahead == nil {
+			r.ahead = make(map[int]aheadFetch)
+		}
+		r.ahead[i] = aheadFetch{fetch: out, src: src}
+	}
 }
 
 // produceLocal streams a block from its node-local replica device, over
@@ -192,7 +239,7 @@ func (r *bbReader) produceLustre(b *bbBlock, out *sim.Store[packet]) {
 	fs := r.fs
 	client := r.client
 	fs.cl.Env.Spawn(fmt.Sprintf("bb.readlustre.b%d", b.id), func(q *sim.Proc) {
-		lr, err := fs.backing.Open(q, client, b.lustrePath)
+		lr, err := fs.openBlockObject(q, client, b)
 		if err != nil {
 			out.PutWait(q, packet{err: true})
 			return
@@ -229,11 +276,22 @@ func (r *bbReader) Read(p *sim.Proc, n int64) (int64, error) {
 			continue
 		}
 		if r.fetch == nil {
-			r.tried = make(map[string]struct{})
 			r.consumedBlk = 0
-			if err := r.startFetch(p); err != nil {
-				return consumed, err
+			if pf, ok := r.ahead[r.idx]; ok {
+				// The block's fetch was prefetched while its predecessor
+				// streamed; adopt it.
+				delete(r.ahead, r.idx)
+				r.tried = map[string]struct{}{pf.src: {}}
+				r.fetch = pf.fetch
+				r.pending = 0
+				r.fs.metrics.Counter("read.prefetch.hits").Inc()
+			} else {
+				r.tried = make(map[string]struct{})
+				if err := r.startFetch(p); err != nil {
+					return consumed, err
+				}
 			}
+			r.prefetchAhead()
 		}
 		if r.pending == 0 {
 			pkt, _ := r.fetch.Get(p)
@@ -300,6 +358,10 @@ func (r *bbReader) Close(p *sim.Proc) error {
 	}
 	r.closed = true
 	r.abandonFetch()
+	for i, pf := range r.ahead {
+		pf.fetch.Close()
+		delete(r.ahead, i)
+	}
 	return nil
 }
 
@@ -396,7 +458,7 @@ func (fs *BurstFS) Prestage(p *sim.Proc, client netsim.NodeID, path string) (int
 // stageInBlock copies one block Lustre -> buffer server, charging the
 // server-side Lustre read and the ingest pipe.
 func (fs *BurstFS) stageInBlock(p *sim.Proc, s *BufferServer, b *bbBlock) bool {
-	lr, err := fs.backing.Open(p, s.node, b.lustrePath)
+	lr, err := fs.openBlockObject(p, s.node, b)
 	if err != nil {
 		return false
 	}

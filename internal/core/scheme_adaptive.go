@@ -27,7 +27,7 @@ func (a *adaptivePolicy) Name() string { return "bb-adaptive" }
 func (a *adaptivePolicy) pressure(fs *BurstFS) int {
 	depth := fs.openBlocks
 	for _, s := range fs.servers {
-		depth += s.dirtyQueue.Len() + s.flushing + len(s.deferred)
+		depth += s.dirtyBacklog() + s.flushing + len(s.deferred)
 	}
 	return depth
 }

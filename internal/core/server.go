@@ -28,8 +28,18 @@ type BufferServer struct {
 
 	// bytes is the payload currently resident (dirty+flushing+clean).
 	bytes int64
-	// dirtyQueue feeds the server's flusher pool.
+	// dirtyQueue feeds the server's flusher pool. With the coalescing
+	// scheduler enabled it degrades to a wake-up token channel: the real
+	// flush order lives in sched, and each popped token triggers one
+	// sched.next() batch claim.
 	dirtyQueue *sim.Store[*bbBlock]
+	// sched is the coalescing stage-out scheduler (nil unless
+	// Config.FlushBatchBlocks > 1; see scheduler.go).
+	sched *flushScheduler
+	// flushInflight is the payload currently being copied to Lustre by the
+	// flusher pool, bounded by effectiveFlushers × FlushBatchBlocks ×
+	// BlockSize.
+	flushInflight int64
 	// deferred holds FlushDeferred blocks parked dirty until a drain,
 	// shutdown, or buffer pressure promotes them into the dirty queue.
 	deferred []*bbBlock
@@ -62,8 +72,42 @@ func newBufferServer(fs *BurstFS, index int) *BufferServer {
 		flushProgress: &sim.Event{},
 	}
 	s.ingest = sim.NewPipe(s.name+".ingest", fs.cfg.ServerIngestRate)
+	if fs.cfg.coalescing() {
+		s.sched = newFlushScheduler(s, fs.cfg.FlushBatchBlocks)
+	}
 	fs.net.Register(s.node, bbService, s.handle)
 	return s
+}
+
+// enqueueDirty hands a dirty block to the flusher pool. urgent marks
+// pressure work (eviction-driven promotions, crash requeues) that the
+// coalescing scheduler flushes ahead of background stage-out; without the
+// scheduler every block is FIFO exactly as in the seed. Callback-safe:
+// nothing here yields.
+func (s *BufferServer) enqueueDirty(b *bbBlock, urgent bool) {
+	if s.sched != nil {
+		s.sched.enqueue(b, urgent)
+	}
+	s.dirtyQueue.Put(b)
+}
+
+// requeueDirty re-enqueues a block after a transient flush failure,
+// tolerating a queue closed by a concurrent Shutdown.
+func (s *BufferServer) requeueDirty(p *sim.Proc, b *bbBlock) {
+	if s.sched != nil {
+		s.sched.enqueue(b, true)
+	}
+	s.dirtyQueue.PutWait(p, b)
+}
+
+// dirtyBacklog counts blocks awaiting flush. With the scheduler the queue
+// holds wake-up tokens (possibly more than real work after batch claims),
+// so the scheduler's pending index is authoritative.
+func (s *BufferServer) dirtyBacklog() int {
+	if s.sched != nil {
+		return s.sched.pendingCount()
+	}
+	return s.dirtyQueue.Len()
 }
 
 // handle serves the control-plane side of buffer operations. Payload
@@ -202,9 +246,11 @@ func (s *BufferServer) ensureSpace(p *sim.Proc, size int64) error {
 			continue
 		}
 		// Nothing clean: parked deferred blocks are the next way to make
-		// room — hand them to the flusher pool before stalling.
+		// room — hand them to the flusher pool before stalling. Promotion
+		// under eviction pressure is urgent: the scheduler flushes these
+		// ahead of background work so the stalled writer unblocks sooner.
 		if len(s.deferred) > 0 {
-			s.promoteDeferred()
+			s.promoteDeferred(true)
 			continue
 		}
 		// Nothing clean: wait for the flusher pool to make progress.
@@ -218,22 +264,24 @@ func (s *BufferServer) ensureSpace(p *sim.Proc, size int64) error {
 }
 
 // promoteDeferred moves parked FlushDeferred blocks into the dirty queue,
-// returning how many it promoted. Blocks that were deleted, re-planned, or
-// reassigned away are dropped. Note a promoted block may be handed straight
-// to a blocked flusher (queue length stays 0), so callers polling for
-// progress must treat a non-zero return as in-flight work.
-func (s *BufferServer) promoteDeferred() int {
+// returning how many it promoted and how many remain parked afterwards (so
+// the flush tick can fold its re-arm decision into the promote pass).
+// urgent marks eviction-pressure promotions the coalescing scheduler
+// prioritizes. Blocks that were deleted, re-planned, or reassigned away
+// are dropped. Note a promoted block may be handed straight to a blocked
+// flusher (queue length stays 0), so callers polling for progress must
+// treat a non-zero promoted count as in-flight work.
+func (s *BufferServer) promoteDeferred(urgent bool) (promoted, remaining int) {
 	parked := s.deferred
 	s.deferred = nil
-	n := 0
 	for _, b := range parked {
 		if b.deleted || b.state != stateDirty || b.primary() != s {
 			continue
 		}
-		s.dirtyQueue.Put(b)
-		n++
+		s.enqueueDirty(b, urgent)
+		promoted++
 	}
-	return n
+	return promoted, len(s.deferred)
 }
 
 // signalFlushProgress wakes writers stalled in ensureSpace.

@@ -398,7 +398,7 @@ func (w *bbWriter) finishBlock(p *sim.Proc) error {
 		fs.armFlushTick()
 	default: // FlushAsync
 		b.state = stateDirty
-		b.primary().dirtyQueue.Put(b)
+		b.primary().enqueueDirty(b, false)
 	}
 	if rep := fs.callMgr(p, w.client, "commitBlock", &mgrCommitReq{path: w.path, block: b}); rep.Err != nil {
 		return rep.Err

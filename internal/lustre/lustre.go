@@ -371,6 +371,34 @@ func (l *Lustre) Open(p *sim.Proc, client netsim.NodeID, path string) (dfs.Reade
 		fs: l, client: client, file: f,
 		remainingIssue: f.Size,
 		remainingRead:  f.Size,
+		limit:          f.Size,
+		in:             sim.NewStore[int64](),
+		window:         sim.NewSemaphore(l.cfg.RPCsInFlight),
+	}, nil
+}
+
+// OpenRange returns a streaming reader over [offset, offset+length) of a
+// file — the coalesced stage-out path stores many blocks in one object, so
+// readers need windowed streaming from an interior offset. The reader
+// charges exactly the stripes overlapping the range, starting mid-stripe
+// when the offset is unaligned, with the same bounded prefetch window as
+// Open.
+func (l *Lustre) OpenRange(p *sim.Proc, client netsim.NodeID, path string, offset, length int64) (dfs.Reader, error) {
+	rep := l.callMDS(p, client, "open", path)
+	if rep.Err != nil {
+		return nil, rep.Err
+	}
+	f := rep.Payload.(*dfs.TreeFile)
+	if offset < 0 || length < 0 || offset+length > f.Size {
+		return nil, fmt.Errorf("%w: range [%d,%d) of %d-byte file", dfs.ErrShortRead, offset, offset+length, f.Size)
+	}
+	return &lustreReader{
+		fs: l, client: client, file: f,
+		remainingIssue: length,
+		remainingRead:  length,
+		limit:          length,
+		chunk:          int(offset / l.cfg.StripeSize),
+		stripeSkip:     offset % l.cfg.StripeSize,
 		in:             sim.NewStore[int64](),
 		window:         sim.NewSemaphore(l.cfg.RPCsInFlight),
 	}, nil
@@ -418,9 +446,16 @@ type lustreReader struct {
 	in             *sim.Store[int64]
 	remainingIssue int64
 	remainingRead  int64
-	chunk          int
-	pending        int64
-	closed         bool
+	// limit is the total bytes this reader may deliver (file size for
+	// Open, range length for OpenRange).
+	limit int64
+	chunk int
+	// stripeSkip is the unconsumed prefix of the first stripe chunk when
+	// the stream starts at an unaligned offset (OpenRange); zero after the
+	// first issue.
+	stripeSkip int64
+	pending    int64
+	closed     bool
 	// want/issued bound prefetch to what the consumer has asked for plus
 	// a small read-ahead, so partial readers do not overfetch the file.
 	want   int64
@@ -430,7 +465,8 @@ type lustreReader struct {
 // issue launches one chunk fetch if any remain and the window allows.
 func (r *lustreReader) issue(p *sim.Proc) {
 	lo := fileLayout(r.file)
-	m := min64(r.remainingIssue, r.fs.cfg.StripeSize)
+	m := min64(r.remainingIssue, r.fs.cfg.StripeSize-r.stripeSkip)
+	r.stripeSkip = 0
 	o := r.fs.ostFor(lo, r.chunk)
 	r.remainingIssue -= m
 	r.issued += m
@@ -456,8 +492,8 @@ func (r *lustreReader) Read(p *sim.Proc, n int64) (int64, error) {
 	}
 	var consumed int64
 	r.want += n
-	if r.want > r.file.Size {
-		r.want = r.file.Size
+	if r.want > r.limit {
+		r.want = r.limit
 	}
 	readAhead := 2 * r.fs.cfg.StripeSize
 	for consumed < n && r.remainingRead > 0 {
