@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test vet race bench bench-smoke bench-kernel bench-dataplane stress repro tools clean
+.PHONY: all test vet race bench bench-smoke bench-kernel bench-dataplane bench-netsim stress repro tools clean
 
 all: test
 
@@ -16,11 +16,11 @@ race:
 	go test -race ./...
 
 # Full micro-benchmark suite with allocation stats, summarized to
-# BENCH_4.json (coalescing stage-out PR: StageOutDrain's drain-speedup and
-# ReadAheadStreaming's read-speedup are the headline data-plane metrics).
+# BENCH_5.json (flow fast-path PR: FlowTransfer/PipelineWriteFlow
+# events-per-op vs their packet counterparts are the headline metrics).
 bench: tools
 	go test -run '^$$' -bench . -benchmem ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
-	./bin/benchjson -out BENCH_4.json -note "host: $$(nproc) CPU core(s); stage-out data-plane PR — StageOutDrain drain-speedup / ReadAheadStreaming read-speedup are the new headline metrics; allocs/op must stay level with BENCH_3-era baselines" < bench.out
+	./bin/benchjson -out BENCH_5.json -note "host: $$(nproc) CPU core(s); flow-level network fast-path PR — FlowTransfer and PipelineWriteFlow events/op vs the packet counterparts are the headline metrics; ExperimentsSerial must improve over BENCH_4 with flow streaming on in the tab experiments" < bench.out
 	rm -f bench.out
 
 # One-iteration benchmark pass: proves every benchmark still compiles and
@@ -37,6 +37,11 @@ bench-kernel:
 # streaming readahead, and the tab6 experiment regeneration.
 bench-dataplane:
 	go test -run '^$$' -bench 'StageOutDrain|ReadAheadStreaming|Tab6' -benchmem .
+
+# Flow-vs-packet comparison benchmarks: raw 128 MiB transfers and the
+# 3-replica HDFS pipeline write, events/op and allocs/op side by side.
+bench-netsim:
+	go test -run '^$$' -bench 'FlowTransfer|NetsimPacketTransfer|PipelineWrite' -benchmem ./internal/netsim/ ./internal/hdfs/
 
 # Concurrency stress tests under the race detector: sharded engine, TCP
 # server, and pipelined client hammered by colliding goroutines.

@@ -28,6 +28,7 @@ func main() {
 		transp   = flag.String("transport", "rdma", "rdma | ipoib | 10gige | 1gige")
 		hardware = flag.String("hardware", "hpc-local", "hpc-local | diskless")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		flow     = flag.Bool("flow", false, "bulk transfers ride the netsim flow fast path")
 		trace    = flag.String("trace", "", "write a per-operation FS trace to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -56,11 +57,12 @@ func main() {
 		*files = *nodes * 4
 	}
 	opts := hbb.Options{
-		Nodes:     *nodes,
-		Transport: hbb.Transport(*transp),
-		Hardware:  hbb.Hardware(*hardware),
-		Seed:      *seed,
-		ChunkSize: 4 << 20,
+		Nodes:         *nodes,
+		Transport:     hbb.Transport(*transp),
+		Hardware:      hbb.Hardware(*hardware),
+		Seed:          *seed,
+		ChunkSize:     4 << 20,
+		FlowStreaming: *flow,
 	}
 	if *trace != "" {
 		f, err := os.Create(*trace)
@@ -127,6 +129,19 @@ func main() {
 		if reg, ok := tb.BurstBufferMetrics(b); ok {
 			fmt.Printf("flush latency: %s\n", reg.Histogram("flush.latency.s"))
 		}
+		net := tb.NetworkMetrics()
+		fmt.Printf("network:")
+		for _, name := range net.Names() {
+			if strings.HasPrefix(name, "net.bytes.") {
+				fmt.Printf("  %s=%.1fGiB", strings.TrimPrefix(name, "net.bytes."),
+					float64(net.Counter(name).Value())/(1<<30))
+			}
+		}
+		fmt.Printf("  flows=%d re-solves=%d aborts=%d  active=%s\n",
+			net.Counter("net.flows.started").Value(),
+			net.Counter("net.flow.resolves").Value(),
+			net.Counter("net.flow.aborts").Value(),
+			net.Histogram("net.flows.active"))
 	})
 }
 

@@ -3,6 +3,7 @@ package hbb
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"hbb/internal/hashring"
@@ -115,7 +116,7 @@ func gb(b int64) float64 { return float64(b) / (1 << 30) }
 
 // newBench builds a testbed for benchmark runs.
 func newBench(sz sizing, nodes int) *Testbed {
-	tb, err := New(Options{Nodes: nodes, Seed: 1, ChunkSize: sz.chunk})
+	tb, err := New(Options{Nodes: nodes, Seed: 1, ChunkSize: sz.chunk, FlowStreaming: true})
 	if err != nil {
 		panic(err)
 	}
@@ -149,7 +150,7 @@ func runDFSIO(sz sizing, nodes int, total int64, b Backend) dfsioRun {
 // runDFSIOServers lets scalability sweeps grow the buffer pool with the
 // cluster (the paper deploys dedicated Memcached nodes proportionally).
 func runDFSIOServers(sz sizing, nodes int, total int64, b Backend, bbServers int) dfsioRun {
-	tb, err := New(Options{Nodes: nodes, Seed: 1, ChunkSize: sz.chunk, BBServers: bbServers})
+	tb, err := New(Options{Nodes: nodes, Seed: 1, ChunkSize: sz.chunk, BBServers: bbServers, FlowStreaming: true})
 	if err != nil {
 		panic(err)
 	}
@@ -500,6 +501,7 @@ func tab2(scale Scale) *metrics.Table {
 		tb, err := New(Options{
 			Nodes: sz.nodes, Seed: 1, ChunkSize: sz.chunk,
 			BBFlushers: j.flushers, BBServerMemory: j.mem,
+			FlowStreaming: true,
 		})
 		if err != nil {
 			panic(err)
@@ -541,6 +543,7 @@ func tab3(scale Scale) *metrics.Table {
 		tb, err := New(Options{
 			Nodes: sz.nodes, Seed: 1, ChunkSize: sz.chunk,
 			Transport: j.tr, LustreStripeCount: j.stripes,
+			FlowStreaming: true,
 		})
 		if err != nil {
 			panic(err)
@@ -598,15 +601,20 @@ func fig1(Scale) *metrics.Table {
 			})
 			const ops = 50
 			env.Spawn("client", func(p *sim.Proc) {
+				// Call is synchronous and nothing retains the envelope, so
+				// one Msg serves every op; only the key string is fresh.
+				msg := netsim.Msg{From: 0, To: 1, Service: "kv", Size: 64}
 				start := p.Now()
 				for i := 0; i < ops; i++ {
 					_ = nw.RDMAWrite(p, 0, 1, size)
-					nw.Call(p, &netsim.Msg{From: 0, To: 1, Service: "kv", Op: "set", Size: 64, Payload: fmt.Sprintf("k%d", i)})
+					msg.Op, msg.Payload = "set", "k"+strconv.Itoa(i)
+					nw.Call(p, &msg)
 				}
 				results[idx].setT = p.Now() - start
 				start = p.Now()
 				for i := 0; i < ops; i++ {
-					nw.Call(p, &netsim.Msg{From: 0, To: 1, Service: "kv", Op: "get", Size: 64, Payload: fmt.Sprintf("k%d", i)})
+					msg.Op, msg.Payload = "get", "k"+strconv.Itoa(i)
+					nw.Call(p, &msg)
 					_ = nw.RDMARead(p, 0, 1, size)
 				}
 				results[idx].getT = p.Now() - start
@@ -654,11 +662,17 @@ func fig2(Scale) *metrics.Table {
 		for c := 0; c < clients; c++ {
 			c := c
 			env.Spawn(fmt.Sprintf("client%d", c), func(p *sim.Proc) {
+				// One envelope per client, reused across the whole run:
+				// Call is synchronous, so only the key string (which the
+				// engine retains) is built fresh each op.
+				msg := netsim.Msg{From: netsim.NodeID(c), Service: "kv", Op: "set", Size: 64}
+				prefix := "c" + strconv.Itoa(c) + "-k"
 				for i := 0; i < opsPerClient; i++ {
-					key := fmt.Sprintf("c%d-k%d", c, i)
+					key := prefix + strconv.Itoa(i)
 					node := engines[ring.Get(key)]
 					_ = nw.RDMAWrite(p, netsim.NodeID(c), node, valSize)
-					nw.Call(p, &netsim.Msg{From: netsim.NodeID(c), To: node, Service: "kv", Op: "set", Size: 64, Payload: key})
+					msg.To, msg.Payload = node, key
+					nw.Call(p, &msg)
 				}
 			})
 		}
@@ -724,6 +738,7 @@ func fig10(scale Scale) *metrics.Table {
 		tb, err := New(Options{
 			Nodes: sz.nodes, Seed: 1, ChunkSize: sz.chunk,
 			Hardware: HardwareDiskless,
+			FlowStreaming: true,
 		})
 		if err != nil {
 			panic(err)
@@ -916,7 +931,7 @@ func tab4(scale Scale) *metrics.Table {
 		tbA, err := New(Options{
 			Nodes: sz.nodes, Seed: 1, ChunkSize: sz.chunk,
 			BBReplicas: cfg.replicas, BBReadmitOnRead: cfg.readmit,
-			BBFlushers: 1,
+			BBFlushers: 1, FlowStreaming: true,
 		})
 		if err != nil {
 			panic(err)
@@ -938,7 +953,7 @@ func tab4(scale Scale) *metrics.Table {
 		tbB, err := New(Options{
 			Nodes: sz.nodes, Seed: 1, ChunkSize: sz.chunk,
 			BBReplicas: cfg.replicas, BBReadmitOnRead: cfg.readmit,
-			BBServerMemory: total / 2,
+			BBServerMemory: total / 2, FlowStreaming: true,
 		})
 		if err != nil {
 			panic(err)

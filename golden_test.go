@@ -104,6 +104,39 @@ func TestGoldenDeterminism(t *testing.T) {
 var coalescedGolden = goldenRun{writeNS: 132908661, readNS: 32461625, bytes: 536870912,
 	stats: "w=536870912 r=536870912 f=536870912 rb=32 rl=0 rlu=0 ev=0 st=0", totalNS: 165409742, localUse: 0}
 
+// flowGoldens pin the flow-streaming data plane: the same short DFSIO
+// pass as the seed goldens but with Options.FlowStreaming on, so bulk
+// transfers ride the analytic flow fast path in netsim instead of the
+// per-packet event train. One entry per layer the flow path rewires:
+// the HDFS pipeline, striped Lustre RPCs, and the burst buffer's RDMA
+// chunk moves. Regenerate only for an intentional behaviour change.
+var flowGoldens = map[string]goldenRun{
+	"hdfs":   {writeNS: 523211018, readNS: 137415899, bytes: 536870912, stats: "", totalNS: 660789471, localUse: 1610612736},
+	"lustre": {writeNS: 148269659, readNS: 151411230, bytes: 536870912, stats: "", totalNS: 300190365, localUse: 0},
+	"bb-async": {writeNS: 136735445, readNS: 42673305, bytes: 536870912,
+		stats: "w=536870912 r=536870912 f=536870912 rb=8 rl=0 rlu=0 ev=0 st=0", totalNS: 232633718, localUse: 0},
+}
+
+func TestGoldenFlowStreaming(t *testing.T) {
+	for _, b := range []Backend{BackendHDFS, BackendLustre, BackendBBAsync} {
+		b := b
+		t.Run(b.String(), func(t *testing.T) {
+			got := goldenFingerprintOpts(t, b, Options{
+				Nodes: 4, Seed: 42, ChunkSize: 4 << 20, FlowStreaming: true,
+			})
+			t.Logf("actual: {writeNS: %d, readNS: %d, bytes: %d, stats: %q, totalNS: %d, localUse: %d}",
+				got.writeNS, got.readNS, got.bytes, got.stats, got.totalNS, got.localUse)
+			want, ok := flowGoldens[b.String()]
+			if !ok {
+				t.Fatalf("no flow golden recorded for %v", b)
+			}
+			if got != want {
+				t.Errorf("fingerprint drifted:\n got: %+v\nwant: %+v", got, want)
+			}
+		})
+	}
+}
+
 func TestGoldenCoalescing(t *testing.T) {
 	got := goldenFingerprintOpts(t, BackendBBAsync, Options{
 		Nodes: 4, Seed: 42, ChunkSize: 4 << 20, BlockSize: 16 << 20,

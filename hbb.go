@@ -253,6 +253,13 @@ type Options struct {
 	// stripes). Zero defaults to 1 MiB; large experiments may raise it to
 	// 4–8 MiB to reduce event counts without changing outcomes.
 	ChunkSize int64
+	// FlowStreaming routes every bulk data path — HDFS pipelines and read
+	// streams, burst-buffer RDMA transfers, Lustre stripe RPCs, and the
+	// MapReduce shuffle — over the netsim flow fast path: analytic
+	// max-min-fair transfers re-solved only on flow transitions instead
+	// of per-packet event trains. Off by default; results shift slightly
+	// because flow-level modelling amortizes per-packet software overhead.
+	FlowStreaming bool
 	// Trace, when non-nil, logs every file-system operation of every
 	// backend (virtual timestamp, duration, node, op, outcome) to the
 	// writer — a debugging aid for workload authors.
@@ -331,16 +338,24 @@ func New(opts Options) (*Testbed, error) {
 		Seed:      opts.Seed,
 	})
 	tb := &Testbed{opts: opts, cluster: cl, bb: make(map[Backend]*core.BurstFS)}
+	if opts.FlowStreaming {
+		cl.Net.EnableFlowBulk() // shuffle and other knobless bulk users
+	}
 	tb.lustre = lustre.New(cl, lustre.Config{
-		OSTs:        opts.LustreOSTs,
-		StripeCount: opts.LustreStripeCount,
-		StripeSize:  opts.ChunkSize,
+		OSTs:          opts.LustreOSTs,
+		StripeCount:   opts.LustreStripeCount,
+		StripeSize:    opts.ChunkSize,
+		FlowStreaming: opts.FlowStreaming,
 	})
-	tb.hdfs = hdfs.New(cl, hdfs.Config{
-		BlockSize:   opts.BlockSize,
-		Replication: opts.Replication,
-		PacketSize:  opts.ChunkSize,
+	tb.hdfs, err = hdfs.New(cl, hdfs.Config{
+		BlockSize:     opts.BlockSize,
+		Replication:   opts.Replication,
+		PacketSize:    opts.ChunkSize,
+		FlowStreaming: opts.FlowStreaming,
 	})
+	if err != nil {
+		return nil, err
+	}
 	// Registry order is fixed: fabric node IDs and spawn order must not
 	// depend on map iteration, or runs would stop being reproducible.
 	// Backends registered after the built-ins come last, so they cannot
@@ -361,6 +376,7 @@ func New(opts Options) (*Testbed, error) {
 			FlushBatchBlocks: opts.BBFlushBatchBlocks,
 			FlushConcurrency: opts.BBFlushConcurrency,
 			ReadAhead:        opts.BBReadAhead,
+			FlowStreaming:    opts.FlowStreaming,
 		})
 	}
 	tb.traced = make(map[Backend]dfs.FileSystem)
@@ -450,6 +466,12 @@ func (tb *Testbed) BurstBufferMetrics(b Backend) (*metrics.Registry, bool) {
 		return nil, false
 	}
 	return fs.Metrics(), true
+}
+
+// NetworkMetrics exposes the fabric's registry: per-transport bytes
+// moved, flow counts, and flow-solver re-solves.
+func (tb *Testbed) NetworkMetrics() *metrics.Registry {
+	return tb.cluster.Net.Metrics()
 }
 
 // LocalStorageUsed reports bytes of compute-node-local storage in use.

@@ -184,9 +184,19 @@ func (r *bbReader) produceLocal(b *bbBlock, out *sim.Store[packet], isLocal bool
 				return
 			}
 			n := min64(remaining, fs.cfg.ItemChunk)
-			b.localDev.Read(q, n)
+			if fs.cfg.FlowStreaming {
+				b.localDev.ReadFlat(q, n)
+			} else {
+				b.localDev.Read(q, n)
+			}
 			if !isLocal {
-				if err := fs.net.Send(q, b.localNode, client, n+64); err != nil {
+				var err error
+				if fs.cfg.FlowStreaming {
+					err = fs.net.TransferFlow(q, b.localNode, client, n+64)
+				} else {
+					err = fs.net.Send(q, b.localNode, client, n+64)
+				}
+				if err != nil {
 					out.PutWait(q, packet{err: true})
 					return
 				}
@@ -473,7 +483,11 @@ func (fs *BurstFS) stageInBlock(p *sim.Proc, s *BufferServer, b *bbBlock) bool {
 		if err != nil || got != n {
 			return false
 		}
-		s.ingest.Transfer(p, n)
+		if fs.cfg.FlowStreaming {
+			s.ingest.TransferFlat(p, n)
+		} else {
+			s.ingest.Transfer(p, n)
+		}
 		rep := fs.net.Call(p, &netsim.Msg{
 			From: s.node, To: s.node, Service: bbService, Op: "set",
 			Size: 64, Payload: &bbSetReq{key: key, size: n},

@@ -253,10 +253,17 @@ func (w *bbWriter) streamBytes(p *sim.Proc, m int64) error {
 			if s.failed {
 				return netsim.ErrNodeDown
 			}
-			if err := fs.net.RDMAWrite(p, w.client, s.node, c); err != nil {
-				return err
+			if fs.cfg.FlowStreaming {
+				if err := fs.net.RDMAWriteFlow(p, w.client, s.node, c); err != nil {
+					return err
+				}
+				s.ingest.TransferFlat(p, c)
+			} else {
+				if err := fs.net.RDMAWrite(p, w.client, s.node, c); err != nil {
+					return err
+				}
+				s.ingest.Transfer(p, c)
 			}
-			s.ingest.Transfer(p, c)
 		}
 		w.itemFill += c
 		b.size += c

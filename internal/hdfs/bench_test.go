@@ -1,0 +1,70 @@
+package hdfs
+
+import (
+	"testing"
+
+	"hbb/internal/cluster"
+	"hbb/internal/netsim"
+	"hbb/internal/sim"
+)
+
+// benchPipelineWrite writes one 128 MiB file through a 3-replica
+// pipeline per iteration and reports host ns/op and allocs/op — the
+// cost of simulating the write, not the simulated duration. SSD capacity
+// is sized so every iteration's replicas fit without eviction.
+func benchPipelineWrite(b *testing.B, flow bool) {
+	b.ReportAllocs()
+	const fileSize = 128 * testMiB
+	c := cluster.New(cluster.Config{
+		Nodes:     6,
+		RacksOf:   4,
+		Transport: netsim.IPoIB,
+		Hardware: cluster.HardwareSpec{
+			SSDCapacity: int64(b.N+1) * 3 * fileSize,
+			MapSlots:    4,
+			ReduceSlots: 2,
+			ComputeRate: 400e6,
+		},
+		Seed: 11,
+	})
+	// Default config: one 128 MiB block, 1 MiB packets, window of 8 —
+	// the canonical pipeline-write shape, so the flow-vs-packet delta
+	// measures the data plane rather than per-block metadata.
+	cfg := Config{FlowStreaming: flow}
+	h, err := New(c, cfg)
+	if err != nil {
+		b.Fatalf("hdfs.New: %v", err)
+	}
+	h.Start()
+	c.Env.Spawn("driver", func(p *sim.Proc) {
+		defer h.Shutdown()
+		for i := 0; i < b.N; i++ {
+			w, err := h.Create(p, 0, "/bench"+string(rune('a'+i%26))+string(rune('a'+(i/26)%26))+string(rune('a'+i/676)))
+			if err != nil {
+				b.Errorf("create: %v", err)
+				return
+			}
+			if err := w.Write(p, fileSize); err != nil {
+				b.Errorf("write: %v", err)
+				return
+			}
+			if err := w.Close(p); err != nil {
+				b.Errorf("close: %v", err)
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	c.Env.Run()
+	b.SetBytes(fileSize)
+	b.ReportMetric(float64(c.Env.Events())/float64(b.N), "events/op")
+}
+
+// BenchmarkPipelineWritePacket is the seed per-packet pipeline: one
+// event train per MiB packet per hop plus per-packet acks.
+func BenchmarkPipelineWritePacket(b *testing.B) { benchPipelineWrite(b, false) }
+
+// BenchmarkPipelineWriteFlow rides the netsim flow fast path: one flow
+// per hop per block, window-sized segments, flat disk reservations. The
+// acceptance bar is ≥5x fewer host allocations than the packet run.
+func BenchmarkPipelineWriteFlow(b *testing.B) { benchPipelineWrite(b, true) }

@@ -38,6 +38,9 @@ type writePipeline struct {
 	id      BlockID
 	targets []netsim.NodeID
 	recvs   []*blockRecv
+	// flow is the client's first-hop flow in flow-streaming mode; nil
+	// when the client hosts the first replica or in packet mode.
+	flow *netsim.Flow
 }
 
 // openPipeline allocates a block and sets up the receive chain, retrying
@@ -69,9 +72,20 @@ func (w *hdfsWriter) openPipeline(p *sim.Proc) error {
 			next = r
 		}
 		if okAll {
-			w.pl = &writePipeline{id: resp.id, targets: resp.targets, recvs: recvs}
-			w.blockWritten = 0
-			return nil
+			pl := &writePipeline{id: resp.id, targets: resp.targets, recvs: recvs}
+			if w.fs.cfg.FlowStreaming && w.client != resp.targets[0] {
+				fl, err := w.fs.net.StartFlowLegacy(w.client, resp.targets[0])
+				if err != nil {
+					okAll = false // first hop died under us: retry below
+				} else {
+					pl.flow = fl
+				}
+			}
+			if okAll {
+				w.pl = pl
+				w.blockWritten = 0
+				return nil
+			}
 		}
 		// A target could not take the block: tear down what we built and
 		// retry with it excluded.
@@ -122,13 +136,23 @@ func (w *hdfsWriter) Write(p *sim.Proc, n int64) error {
 	return nil
 }
 
-// streamBytes pushes m bytes of the current block down the pipeline.
+// streamBytes pushes m bytes of the current block down the pipeline. In
+// flow-streaming mode the unit is a window-sized segment delivered over
+// the first-hop flow; in packet mode it is one packet over SendLegacy.
 func (w *hdfsWriter) streamBytes(p *sim.Proc, m int64) error {
 	first := w.pl.targets[0]
+	seg := w.fs.cfg.PacketSize
+	if w.fs.cfg.FlowStreaming {
+		seg = w.fs.cfg.flowSegment()
+	}
 	for m > 0 {
-		n := min64(m, w.fs.cfg.PacketSize)
+		n := min64(m, seg)
 		if w.client != first {
-			if err := w.fs.net.SendLegacy(p, w.client, first, n+packetHeader); err != nil {
+			if w.pl.flow != nil {
+				if err := w.pl.flow.Write(p, n+packetHeader); err != nil {
+					return err
+				}
+			} else if err := w.fs.net.SendLegacy(p, w.client, first, n+packetHeader); err != nil {
 				return err
 			}
 		} else if dn := w.fs.dns[first]; dn != nil && dn.failed {
@@ -149,6 +173,9 @@ func (w *hdfsWriter) streamBytes(p *sim.Proc, m int64) error {
 func (w *hdfsWriter) recoverBlock(p *sim.Proc) error {
 	pl := w.pl
 	w.pl = nil
+	if pl.flow != nil {
+		pl.flow.Close(p) // already aborted or moot; the error is the reason we are here
+	}
 	pl.recvs[0].abort()
 	for _, r := range pl.recvs {
 		r.done.Wait(p)
@@ -199,6 +226,9 @@ func (w *hdfsWriter) finishBlock(p *sim.Proc) error {
 			acked++
 		}
 	}
+	if pl.flow != nil {
+		pl.flow.Close(p)
+	}
 	if acked == 0 {
 		return fmt.Errorf("%w: no replica of block %d survived", dfs.ErrCorrupt, pl.id)
 	}
@@ -225,6 +255,9 @@ func (w *hdfsWriter) Close(p *sim.Proc) error {
 		}
 	} else if w.pl != nil {
 		// Empty trailing block: abandon it.
+		if w.pl.flow != nil {
+			w.pl.flow.Close(p)
+		}
 		w.pl.recvs[0].abort()
 		for _, r := range w.pl.recvs {
 			r.done.Wait(p)

@@ -150,8 +150,12 @@ func (dn *DataNode) receiveBlock(blk BlockID, next *blockRecv) *blockRecv {
 	}
 	wstore := sim.NewBounded[packet](dn.fs.cfg.WindowPackets)
 	writerDone := &sim.Event{}
+	flowMode := dn.fs.cfg.FlowStreaming
 
-	// Disk writer: drains packets to the device.
+	// Disk writer: drains packets to the device. Flow mode couples the
+	// drain to the device rate with one flat reservation per segment
+	// instead of the chunked interleaving train, still overlapped with
+	// the xceiver's network receive through wstore.
 	dn.fs.cl.Env.Spawn(fmt.Sprintf("dn%d.write.b%d", dn.id, blk), func(p *sim.Proc) {
 		defer writerDone.Trigger()
 		for {
@@ -163,17 +167,23 @@ func (dn *DataNode) receiveBlock(blk BlockID, next *blockRecv) *blockRecv {
 				continue // drain without effect
 			}
 			if pkt.bytes > 0 {
-				dev.Write(p, pkt.bytes)
+				if flowMode {
+					dev.WriteFlat(p, pkt.bytes)
+				} else {
+					dev.Write(p, pkt.bytes)
+				}
 				r.size += pkt.bytes
 			}
 		}
 	})
 
 	// Xceiver: receives packets, hands them to the disk writer, forwards
-	// downstream, and finalizes the replica on the last packet.
+	// downstream, and finalizes the replica on the last packet. In flow
+	// mode the downstream hop rides one flow for the whole block.
 	dn.fs.cl.Env.Spawn(fmt.Sprintf("dn%d.xceiver.b%d", dn.id, blk), func(p *sim.Proc) {
 		defer r.done.Trigger()
 		downstreamUp := next != nil
+		var fwd *netsim.Flow
 		sawLast := false
 		for {
 			pkt, ok := r.in.Get(p)
@@ -182,7 +192,18 @@ func (dn *DataNode) receiveBlock(blk BlockID, next *blockRecv) *blockRecv {
 			}
 			wstore.PutWait(p, pkt)
 			if downstreamUp {
-				if err := dn.fs.net.SendLegacy(p, dn.id, next.dn.id, pkt.bytes+packetHeader); err != nil {
+				var err error
+				if flowMode {
+					if fwd == nil {
+						fwd, err = dn.fs.net.StartFlowLegacy(dn.id, next.dn.id)
+					}
+					if err == nil {
+						err = fwd.Write(p, pkt.bytes+packetHeader)
+					}
+				} else {
+					err = dn.fs.net.SendLegacy(p, dn.id, next.dn.id, pkt.bytes+packetHeader)
+				}
+				if err != nil {
 					// Downstream died: stop forwarding; its stage aborts.
 					downstreamUp = false
 					next.in.Close()
@@ -194,6 +215,9 @@ func (dn *DataNode) receiveBlock(blk BlockID, next *blockRecv) *blockRecv {
 				sawLast = true
 				break
 			}
+		}
+		if fwd != nil {
+			fwd.Close(p)
 		}
 		wstore.Close()
 		writerDone.Wait(p)
@@ -220,8 +244,11 @@ func (r *blockRecv) abort() {
 }
 
 // streamBlock spawns a read streamer that delivers size bytes of a block
-// to the client node through the bounded store, packet by packet. Errors
-// (missing replica, node failure) surface as a packet with err set.
+// to the client node through the bounded store. Packet mode moves one
+// packet per iteration over SendLegacy; flow mode moves window-sized
+// segments over one flow for the whole block, with flat device reads.
+// Errors (missing replica, node failure) surface as a packet with err
+// set.
 func (dn *DataNode) streamBlock(blk BlockID, client netsim.NodeID, out *sim.Store[packet]) {
 	dn.fs.cl.Env.Spawn(fmt.Sprintf("dn%d.read.b%d", dn.id, blk), func(p *sim.Proc) {
 		b, ok := dn.blocks[blk]
@@ -229,16 +256,40 @@ func (dn *DataNode) streamBlock(blk BlockID, client netsim.NodeID, out *sim.Stor
 			out.PutWait(p, packet{err: true})
 			return
 		}
+		flowMode := dn.fs.cfg.FlowStreaming
+		seg := dn.fs.cfg.PacketSize
+		var fl *netsim.Flow
+		if flowMode {
+			seg = dn.fs.cfg.flowSegment()
+			if client != dn.id {
+				var err error
+				if fl, err = dn.fs.net.StartFlowLegacy(dn.id, client); err != nil {
+					out.PutWait(p, packet{err: true})
+					return
+				}
+				defer fl.Close(p)
+			}
+		}
 		remaining := b.size
 		for remaining > 0 {
 			if dn.failed {
 				out.PutWait(p, packet{err: true})
 				return
 			}
-			n := min64(remaining, dn.fs.cfg.PacketSize)
-			b.dev.Read(p, n)
+			n := min64(remaining, seg)
+			if flowMode {
+				b.dev.ReadFlat(p, n)
+			} else {
+				b.dev.Read(p, n)
+			}
 			if client != dn.id {
-				if err := dn.fs.net.SendLegacy(p, dn.id, client, n+packetHeader); err != nil {
+				var err error
+				if fl != nil {
+					err = fl.Write(p, n+packetHeader)
+				} else {
+					err = dn.fs.net.SendLegacy(p, dn.id, client, n+packetHeader)
+				}
+				if err != nil {
 					out.PutWait(p, packet{err: true})
 					return
 				}

@@ -1,0 +1,173 @@
+package hdfs
+
+import (
+	"testing"
+
+	"hbb/internal/netsim"
+	"hbb/internal/sim"
+)
+
+// flowConfig is testConfig with the flow fast path switched on.
+func flowConfig() Config {
+	cfg := testConfig()
+	cfg.FlowStreaming = true
+	return cfg
+}
+
+func TestFlowStreamingRoundTrip(t *testing.T) {
+	// Write+read a multi-block file with flows on; every byte must come
+	// back and the run must drain (runHDFS checks for deadlocks).
+	const fileSize = 48 * testMiB
+	runHDFS(t, 6, flowConfig(), func(p *sim.Proc, h *HDFS) {
+		w, err := h.Create(p, 0, "/f")
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		if err := w.Write(p, fileSize); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if err := w.Close(p); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		r, err := h.Open(p, 4, "/f")
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		var total int64
+		for {
+			n, err := r.Read(p, 8*testMiB)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if n == 0 {
+				break
+			}
+			total += n
+		}
+		if total != fileSize {
+			t.Fatalf("read %d, want %d", total, fileSize)
+		}
+		r.Close(p)
+	})
+}
+
+func TestFlowStreamingPipelineSurvivesMidstreamFailure(t *testing.T) {
+	// Flow-mode counterpart of TestPipelineSurvivesMidstreamFailure: the
+	// node crash aborts the hop flows mid-drain and the existing pipeline
+	// recovery must still deliver the whole file.
+	const fileSize = 64 * testMiB
+	runHDFS(t, 6, flowConfig(), func(p *sim.Proc, h *HDFS) {
+		w, _ := h.Create(p, 0, "/f")
+		if err := w.Write(p, 8*testMiB); err != nil {
+			t.Fatalf("first write: %v", err)
+		}
+		hw := w.(*hdfsWriter)
+		victim := hw.pl.targets[1]
+		h.FailDataNode(victim)
+		if err := w.Write(p, fileSize-8*testMiB); err != nil {
+			t.Fatalf("write after failure: %v", err)
+		}
+		if err := w.Close(p); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		r, err := h.Open(p, 3, "/f")
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		var total int64
+		for {
+			n, err := r.Read(p, 8*testMiB)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if n == 0 {
+				break
+			}
+			total += n
+		}
+		if total != fileSize {
+			t.Fatalf("read %d, want %d", total, fileSize)
+		}
+		r.Close(p)
+	})
+}
+
+func TestFlowStreamingFirstHopProcessFailure(t *testing.T) {
+	// Process-level crash (node stays reachable) of the first pipeline
+	// member, flow-mode: detection runs per segment instead of per packet
+	// but recovery semantics must be identical.
+	const fileSize = 48 * testMiB
+	runHDFS(t, 6, flowConfig(), func(p *sim.Proc, h *HDFS) {
+		w, _ := h.Create(p, 0, "/f")
+		if err := w.Write(p, 8*testMiB); err != nil {
+			t.Fatalf("first write: %v", err)
+		}
+		hw := w.(*hdfsWriter)
+		h.FailDataNodeProcess(hw.pl.targets[0])
+		if err := w.Write(p, fileSize-8*testMiB); err != nil {
+			t.Fatalf("write after first-hop failure: %v", err)
+		}
+		if err := w.Close(p); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	})
+}
+
+func TestFlowStreamingReadFailsOver(t *testing.T) {
+	// Killing the replica being streamed aborts the read flow; the reader
+	// must fall back to a surviving replica, flow-mode.
+	const fileSize = 32 * testMiB
+	runHDFS(t, 6, flowConfig(), func(p *sim.Proc, h *HDFS) {
+		w, _ := h.Create(p, 0, "/f")
+		w.Write(p, fileSize)
+		w.Close(p)
+		r, err := h.Open(p, 5, "/f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Read(p, 4*testMiB); err != nil {
+			t.Fatalf("read prefix: %v", err)
+		}
+		locs, _ := h.BlockLocations(p, 5, "/f")
+		h.FailDataNode(locs[0].Hosts[0])
+		var total int64 = 4 * testMiB
+		for {
+			n, err := r.Read(p, 4*testMiB)
+			if err != nil {
+				t.Fatalf("read after replica failure: %v", err)
+			}
+			if n == 0 {
+				break
+			}
+			total += n
+		}
+		if total != fileSize {
+			t.Fatalf("read %d, want %d", total, fileSize)
+		}
+		r.Close(p)
+	})
+}
+
+func TestFlowStreamingDeterministic(t *testing.T) {
+	// Same seed, same flow-mode workload → bit-identical end times.
+	run := func() int64 {
+		_, _, end := runHDFS(t, 6, flowConfig(), func(p *sim.Proc, h *HDFS) {
+			var wg sim.WaitGroup
+			for i := 0; i < 3; i++ {
+				i := i
+				wg.Add(1)
+				h.cl.Env.Spawn("w", func(q *sim.Proc) {
+					defer wg.Done()
+					w, _ := h.Create(q, netsim.NodeID(i), "/f"+string(rune('0'+i)))
+					w.Write(q, 24*testMiB)
+					w.Close(q)
+				})
+			}
+			wg.Wait(p)
+		})
+		return int64(end)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("flow-mode runs diverged: %d vs %d", a, b)
+	}
+}

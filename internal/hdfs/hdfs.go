@@ -46,7 +46,12 @@ var _ dfs.FileSystem = (*HDFS)(nil)
 // New assembles an HDFS over the cluster: one DataNode per compute node
 // plus a dedicated NameNode host on the fabric. Call Start from outside
 // the simulation run to launch heartbeats and the replication monitor.
-func New(cl *cluster.Cluster, cfg Config) *HDFS {
+// The configuration is validated up front so that a degenerate packet
+// size or window fails loudly here instead of hanging mid-simulation.
+func New(cl *cluster.Cluster, cfg Config) (*HDFS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	h := &HDFS{
 		cfg:    cfg,
@@ -66,7 +71,7 @@ func New(cl *cluster.Cluster, cfg Config) *HDFS {
 		h.dns[node.ID] = dn
 		h.nsys.RegisterDatanode(node.ID, node.Rack, dn.capacity(), 0)
 	}
-	return h
+	return h, nil
 }
 
 // Name implements dfs.FileSystem.
@@ -237,17 +242,28 @@ func (h *HDFS) rereplicate(p *sim.Proc, task ReplicationTask) {
 		h.nsys.UnscheduleBlock([]netsim.NodeID{task.Target})
 		return
 	}
-	// Stream the copy in packets: read, forward, write.
-	remaining := task.Size
-	for remaining > 0 {
-		n := min64(remaining, h.cfg.PacketSize)
-		blk.dev.Read(p, n)
-		if err := h.net.SendLegacy(p, src.id, tgt.id, n); err != nil {
+	if h.cfg.FlowStreaming {
+		// Background traffic: one flat read, one analytic flow, one flat
+		// write for the whole block.
+		blk.dev.ReadFlat(p, task.Size)
+		if err := h.net.TransferFlowLegacy(p, src.id, tgt.id, task.Size); err != nil {
 			dev.Dealloc(task.Size)
 			return
 		}
-		dev.Write(p, n)
-		remaining -= n
+		dev.WriteFlat(p, task.Size)
+	} else {
+		// Stream the copy in packets: read, forward, write.
+		remaining := task.Size
+		for remaining > 0 {
+			n := min64(remaining, h.cfg.PacketSize)
+			blk.dev.Read(p, n)
+			if err := h.net.SendLegacy(p, src.id, tgt.id, n); err != nil {
+				dev.Dealloc(task.Size)
+				return
+			}
+			dev.Write(p, n)
+			remaining -= n
+		}
 	}
 	tgt.addBlock(task.Block, task.Size, dev)
 	h.stats.Rereplications++

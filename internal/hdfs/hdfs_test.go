@@ -37,7 +37,10 @@ func testConfig() Config {
 func runHDFS(t *testing.T, nodes int, cfg Config, fn func(p *sim.Proc, h *HDFS)) (*cluster.Cluster, *HDFS, time.Duration) {
 	t.Helper()
 	c := testCluster(nodes)
-	h := New(c, cfg)
+	h, err := New(c, cfg)
+	if err != nil {
+		t.Fatalf("hdfs.New: %v", err)
+	}
 	h.Start()
 	c.Env.Spawn("driver", func(p *sim.Proc) {
 		defer h.Shutdown()
@@ -480,7 +483,10 @@ func TestUseRAMDiskForData(t *testing.T) {
 	})
 	cfg := testConfig()
 	cfg.UseRAMDiskForData = true
-	h := New(c, cfg)
+	h, err := New(c, cfg)
+	if err != nil {
+		t.Fatalf("hdfs.New: %v", err)
+	}
 	h.Start()
 	c.Env.Spawn("driver", func(p *sim.Proc) {
 		defer h.Shutdown()
@@ -507,7 +513,10 @@ func TestDisklessNodesFallBackToRAMDisk(t *testing.T) {
 		Hardware:  cluster.HardwareSpec{RAMDiskCapacity: 1 << 30},
 		Seed:      11,
 	})
-	h := New(c, testConfig())
+	h, err := New(c, testConfig())
+	if err != nil {
+		t.Fatalf("hdfs.New: %v", err)
+	}
 	h.Start()
 	c.Env.Spawn("driver", func(p *sim.Proc) {
 		defer h.Shutdown()

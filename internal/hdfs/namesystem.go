@@ -46,6 +46,12 @@ type Config struct {
 	// (stock HDFS), only persistent local devices (SSD/HDD) hold blocks,
 	// unless a node has no persistent device at all.
 	UseRAMDiskForData bool
+	// FlowStreaming routes pipeline and read-stream payloads over the
+	// netsim flow fast path: one flow per pipeline hop, window-sized
+	// store-and-forward segments instead of per-packet events, and flat
+	// device reservations for the disk drain. Off by default; the
+	// packet-level path is the behaviour the seed goldens pin.
+	FlowStreaming bool
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +77,33 @@ func (c Config) withDefaults() Config {
 		c.NNOpLatency = 50 * time.Microsecond
 	}
 	return c
+}
+
+// Validate rejects configurations that would hang or divide later in the
+// data plane. It is applied after defaulting, so a zero value is fine
+// (it means "use the default") but an explicit negative is not.
+func (c Config) Validate() error {
+	d := c.withDefaults()
+	if d.PacketSize <= 0 {
+		return fmt.Errorf("hdfs: PacketSize must be positive, got %d", c.PacketSize)
+	}
+	if d.WindowPackets <= 0 {
+		return fmt.Errorf("hdfs: WindowPackets must be positive, got %d", c.WindowPackets)
+	}
+	if d.BlockSize <= 0 {
+		return fmt.Errorf("hdfs: BlockSize must be positive, got %d", c.BlockSize)
+	}
+	if d.Replication <= 0 {
+		return fmt.Errorf("hdfs: Replication must be positive, got %d", c.Replication)
+	}
+	return nil
+}
+
+// flowSegment is the store-and-forward granularity of the flow fast
+// path: one pipeline window's worth of packets moved as a single
+// analytic transfer.
+func (c Config) flowSegment() int64 {
+	return c.PacketSize * int64(c.WindowPackets)
 }
 
 // blockMeta is the namesystem's record of one block.

@@ -41,6 +41,10 @@ type Config struct {
 	// RPCsInFlight bounds outstanding bulk RPCs per client stream. Zero
 	// defaults to 8.
 	RPCsInFlight int
+	// FlowStreaming moves stripe-sized bulk RPCs over the netsim flow
+	// fast path and books OST devices with flat reservations. Off by
+	// default; the chunked packet path is what the seed goldens pin.
+	FlowStreaming bool
 }
 
 func (c Config) withDefaults() Config {
@@ -329,7 +333,14 @@ func (w *lustreWriter) Write(p *sim.Proc, n int64) error {
 		w.window.Acquire(p, 1)
 		// The bulk RPC to the OST paces the client; the OST-side device
 		// write proceeds asynchronously within the window.
-		if err := w.fs.net.Send(p, w.client, o.node, m+rpcHeader); err != nil {
+		flowMode := w.fs.cfg.FlowStreaming
+		var err error
+		if flowMode {
+			err = w.fs.net.TransferFlow(p, w.client, o.node, m+rpcHeader)
+		} else {
+			err = w.fs.net.Send(p, w.client, o.node, m+rpcHeader)
+		}
+		if err != nil {
 			w.window.Release(1)
 			o.dev.Dealloc(m)
 			return err
@@ -337,7 +348,11 @@ func (w *lustreWriter) Write(p *sim.Proc, n int64) error {
 		w.wg.Add(1)
 		dev := o.dev
 		w.fs.cl.Env.Spawn(fmt.Sprintf("ost.write.%s", w.file.Path), func(q *sim.Proc) {
-			dev.Write(q, m)
+			if flowMode {
+				dev.WriteFlat(q, m)
+			} else {
+				dev.Write(q, m)
+			}
 			w.window.Release(1)
 			w.wg.Done()
 		})
@@ -423,9 +438,19 @@ func (l *Lustre) ReadRange(p *sim.Proc, client netsim.NodeID, path string, offse
 		n := min64(length, l.cfg.StripeSize-skip)
 		skip = 0
 		o := l.ostFor(lo, chunk)
-		o.dev.Read(p, n)
+		if l.cfg.FlowStreaming {
+			o.dev.ReadFlat(p, n)
+		} else {
+			o.dev.Read(p, n)
+		}
 		if client != o.node {
-			if err := l.net.Send(p, o.node, client, n+rpcHeader); err != nil {
+			var err error
+			if l.cfg.FlowStreaming {
+				err = l.net.TransferFlow(p, o.node, client, n+rpcHeader)
+			} else {
+				err = l.net.Send(p, o.node, client, n+rpcHeader)
+			}
+			if err != nil {
 				return err
 			}
 		}
@@ -477,9 +502,16 @@ func (r *lustreReader) issue(p *sim.Proc) {
 	client := r.client
 	in := r.in
 	fs.cl.Env.Spawn(fmt.Sprintf("ost.read.%s", r.file.Path), func(q *sim.Proc) {
-		dev.Read(q, m)
-		if client != node {
-			_ = fs.net.Send(q, node, client, m+rpcHeader)
+		if fs.cfg.FlowStreaming {
+			dev.ReadFlat(q, m)
+			if client != node {
+				_ = fs.net.TransferFlow(q, node, client, m+rpcHeader)
+			}
+		} else {
+			dev.Read(q, m)
+			if client != node {
+				_ = fs.net.Send(q, node, client, m+rpcHeader)
+			}
 		}
 		in.Put(m)
 	})

@@ -27,6 +27,50 @@ func BenchmarkNetsimRPC(b *testing.B) {
 	e.Run()
 }
 
+// BenchmarkNetsimPacketTransfer moves a 128 MiB payload through the
+// chunked packet path: one Reserve+Sleep pair per DefaultChunk on each
+// hop. The flow counterpart below must beat it by ≥5x on events/allocs.
+func BenchmarkNetsimPacketTransfer(b *testing.B) {
+	b.ReportAllocs()
+	const n = 128 << 20
+	e := sim.New(1)
+	nw := New(e, RDMA, 2)
+	e.Spawn("c", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if err := nw.Send(p, 0, 1, n); err != nil {
+				b.Errorf("send: %v", err)
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+	b.SetBytes(n)
+	b.ReportMetric(float64(e.Events())/float64(b.N), "events/op")
+}
+
+// BenchmarkFlowTransfer moves the same 128 MiB payload as one analytic
+// flow: a constant number of solver passes and callback timers per
+// transfer, independent of payload size.
+func BenchmarkFlowTransfer(b *testing.B) {
+	b.ReportAllocs()
+	const n = 128 << 20
+	e := sim.New(1)
+	nw := New(e, RDMA, 2)
+	e.Spawn("c", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			if err := nw.TransferFlow(p, 0, 1, n); err != nil {
+				b.Errorf("flow transfer: %v", err)
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+	b.SetBytes(n)
+	b.ReportMetric(float64(e.Events())/float64(b.N), "events/op")
+}
+
 // BenchmarkNetsimCast measures one-way delivery: each cast pays the send
 // and spawns a handler process on the destination.
 func BenchmarkNetsimCast(b *testing.B) {

@@ -1,0 +1,407 @@
+package netsim
+
+// Flow-level fast path: instead of pushing bulk payloads through the
+// packet-train pipes (one Reserve+Sleep per chunk), a Flow claims a
+// max-min fair share of the sender-egress and receiver-ingress NICs and
+// computes its completion time analytically. The share solver re-runs
+// only when a flow starts, ends, or a node fails, so a transfer costs
+// O(flow transitions) callback timers instead of O(bytes/chunk) events.
+//
+// Model notes:
+//   - Flow capacity is the NIC bandwidth shared among *flows only*;
+//     packet-mode pipe traffic on the same NIC is not subtracted. Mixed
+//     flow/packet workloads on one NIC therefore overbook it slightly —
+//     acceptable because a given data plane runs entirely in one mode.
+//   - Software overhead (Profile.SWOverhead) is a per-message cost; the
+//     one-shot wrappers charge it once per transfer, and Flow.Write
+//     charges none, amortizing it away exactly as flow-level simulators
+//     do.
+//   - Completion timers are armed at now + ceil(remaining/rate); for a
+//     lone flow this reproduces the closed-form n/bandwidth time to
+//     within 1 ns of float rounding.
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hbb/internal/sim"
+)
+
+// flowLink is one direction of one NIC as seen by the flow solver.
+// remCap/nflows are water-filling scratch, valid only while gen matches
+// the network's current solve generation.
+type flowLink struct {
+	cap    float64
+	gen    uint64
+	remCap float64
+	nflows int
+}
+
+func (f *iface) flowLinks(prof Profile, legacy bool) (eg, in *flowLink) {
+	if legacy {
+		if f.flLegEg == nil {
+			f.flLegEg = &flowLink{cap: prof.Bandwidth}
+			f.flLegIn = &flowLink{cap: prof.Bandwidth}
+		}
+		return f.flLegEg, f.flLegIn
+	}
+	if f.flEg == nil {
+		f.flEg = &flowLink{cap: prof.Bandwidth}
+		f.flIn = &flowLink{cap: prof.Bandwidth}
+	}
+	return f.flEg, f.flIn
+}
+
+// Flow is an open bulk-transfer session between two nodes. A Flow is
+// owned by one simulated process at a time: Write blocks its caller
+// until the bytes drain, so there is never more than one transfer in
+// flight per Flow.
+type Flow struct {
+	nw     *Network
+	src    NodeID
+	dst    NodeID
+	legacy bool
+	prof   Profile
+	eg, in *flowLink
+
+	remaining float64 // bytes still to deliver in the current Write
+	rate      float64 // current fair-share rate, bytes/sec
+	prevRate  float64 // rate before the current re-solve (re-arm skip)
+	lastUpd   int64   // virtual ns of the last progress accounting
+	frozen    bool    // water-filling scratch
+
+	timer    sim.Timer
+	timerSet bool
+	finishFn func()     // cached f.finish method value, one alloc per Flow
+	drained  sim.Signal // wakes the blocked writer, allocation-free
+	err      error      // sticky abort error (ErrNodeDown)
+	closed   bool
+}
+
+// StartFlow opens a flow session from src to dst on the native
+// transport. Starting is free in virtual time; bandwidth is claimed only
+// while a Write is draining.
+func (nw *Network) StartFlow(src, dst NodeID) (*Flow, error) {
+	return nw.startFlow(src, dst, false)
+}
+
+// StartFlowLegacy is StartFlow over the legacy (socket) transport when
+// one is configured.
+func (nw *Network) StartFlowLegacy(src, dst NodeID) (*Flow, error) {
+	return nw.startFlow(src, dst, true)
+}
+
+func (nw *Network) startFlow(src, dst NodeID, legacy bool) (*Flow, error) {
+	if err := nw.checkLink(src, dst); err != nil {
+		return nil, err
+	}
+	useLeg := legacy && nw.legacy != nil
+	var f *Flow
+	if n := len(nw.flowPool); n > 0 {
+		f = nw.flowPool[n-1]
+		nw.flowPool = nw.flowPool[:n-1]
+		*f = Flow{nw: nw, finishFn: f.finishFn} // finishFn stays bound to f
+		f.src, f.dst, f.legacy, f.prof = src, dst, useLeg, nw.chooseTransport(legacy)
+	} else {
+		f = &Flow{nw: nw, src: src, dst: dst, legacy: useLeg, prof: nw.chooseTransport(legacy)}
+		f.finishFn = f.finish
+	}
+	if src != dst {
+		f.eg, _ = nw.ifaces[src].flowLinks(f.prof, useLeg)
+		_, f.in = nw.ifaces[dst].flowLinks(f.prof, useLeg)
+	}
+	nw.flowsStarted.Inc()
+	return f, nil
+}
+
+// Write delivers n payload bytes over the flow, blocking until the last
+// byte lands (fair bandwidth share plus one propagation latency). If a
+// node on the path fails mid-drain the call returns ErrNodeDown with the
+// bytes transmitted so far already delivered; the flow stays failed.
+func (f *Flow) Write(p *sim.Proc, n int64) error {
+	if f.closed {
+		panic("netsim: Write on closed flow")
+	}
+	if f.err != nil {
+		return f.err
+	}
+	if n <= 0 {
+		return nil
+	}
+	nw := f.nw
+	if err := nw.checkLink(f.src, f.dst); err != nil {
+		return err
+	}
+	nw.ifaces[f.src].sent += n
+	nw.ifaces[f.dst].recv += n
+	nw.bytesMoved(f.legacy).Add(n)
+	if f.src == f.dst {
+		return nil // loopback: no fabric time, as in packet mode
+	}
+	now := int64(p.Now())
+	f.lastUpd = now
+	f.remaining = float64(n)
+	f.rate = 0
+	nw.flows = append(nw.flows, f)
+	nw.resolveFlows(now)
+	f.drained.Wait(p)
+	if f.err != nil {
+		return f.err
+	}
+	p.Sleep(f.prof.Latency)
+	return nil
+}
+
+// Close ends the session. The sticky abort error, if any, is returned so
+// callers that only check Close still observe a mid-flow failure.
+func (f *Flow) Close(p *sim.Proc) error {
+	_ = p
+	f.closed = true
+	return f.err
+}
+
+// advance books the bytes transmitted since the last accounting.
+func (f *Flow) advance(now int64) {
+	if dt := now - f.lastUpd; dt > 0 && f.rate > 0 {
+		f.remaining -= f.rate * float64(dt) / 1e9
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+	f.lastUpd = now
+}
+
+// rearm replaces the completion timer to match the current rate.
+func (f *Flow) rearm(now int64) {
+	if f.timerSet {
+		f.nw.env.Cancel(f.timer)
+		f.timerSet = false
+	}
+	if f.rate <= 0 {
+		return // starved; the next flow transition re-solves
+	}
+	ns := math.Ceil(f.remaining / f.rate * 1e9)
+	f.timer = f.nw.env.At(time.Duration(now)+time.Duration(ns), f.finishFn)
+	f.timerSet = true
+}
+
+// finish runs as a callback timer when the flow's last byte drains: it
+// removes the flow, re-solves the survivors (who speed up at this very
+// instant), and wakes the blocked writer.
+func (f *Flow) finish() {
+	f.timerSet = false
+	now := int64(f.nw.env.Now())
+	f.lastUpd = now
+	f.remaining = 0
+	f.rate = 0
+	f.nw.deactivate(f)
+	f.nw.resolveFlows(now)
+	f.drained.Fire()
+}
+
+func (nw *Network) deactivate(f *Flow) {
+	for i, g := range nw.flows {
+		if g == f {
+			nw.flows = append(nw.flows[:i], nw.flows[i+1:]...)
+			return
+		}
+	}
+}
+
+// resolveFlows recomputes every draining flow's max-min fair share by
+// water filling — repeatedly freeze the flows crossing the tightest link
+// at that link's equal share — then re-arms completion timers. It runs
+// only on flow transitions (Write arrival, completion, node failure), so
+// its O(flows x links) cost replaces per-chunk event dispatch. All state
+// it touches is mutated on the scheduler goroutine only, keeping runs
+// bit-reproducible regardless of GOMAXPROCS.
+func (nw *Network) resolveFlows(now int64) {
+	nw.flowResolves.Inc()
+	nw.flowActive.Observe(float64(len(nw.flows)))
+	if len(nw.flows) == 0 {
+		return
+	}
+	nw.solveGen++
+	gen := nw.solveGen
+	nw.linkScratch = nw.linkScratch[:0]
+	for _, f := range nw.flows {
+		f.advance(now)
+		f.prevRate = f.rate
+		f.frozen = false
+		for _, l := range [2]*flowLink{f.eg, f.in} {
+			if l.gen != gen {
+				l.gen = gen
+				l.remCap = l.cap
+				l.nflows = 0
+				nw.linkScratch = append(nw.linkScratch, l)
+			}
+			l.nflows++
+		}
+	}
+	unfrozen := len(nw.flows)
+	for unfrozen > 0 {
+		var bottleneck *flowLink
+		share := math.Inf(1)
+		for _, l := range nw.linkScratch {
+			if l.nflows == 0 {
+				continue
+			}
+			// Strict < keeps ties on the earliest link in arrival
+			// order — deterministic across runs.
+			if s := l.remCap / float64(l.nflows); s < share {
+				share, bottleneck = s, l
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		for _, f := range nw.flows {
+			if f.frozen || (f.eg != bottleneck && f.in != bottleneck) {
+				continue
+			}
+			f.frozen = true
+			f.rate = share
+			unfrozen--
+			for _, l := range [2]*flowLink{f.eg, f.in} {
+				l.remCap -= share
+				if l.remCap < 0 {
+					l.remCap = 0
+				}
+				l.nflows--
+			}
+		}
+	}
+	for _, f := range nw.flows {
+		// A flow whose share didn't change keeps its timer: the armed
+		// completion instant is still exact, and skipping the
+		// cancel+insert pair keeps steady states O(changed flows) in
+		// heap work instead of O(all flows).
+		if f.timerSet && f.rate == f.prevRate {
+			continue
+		}
+		f.rearm(now)
+	}
+}
+
+// abortFlows fails every draining flow touching node id: bytes already
+// transmitted stay delivered, the blocked writer wakes with ErrNodeDown,
+// and the survivors are re-solved at the failure instant.
+func (nw *Network) abortFlows(id NodeID) {
+	if len(nw.flows) == 0 {
+		return
+	}
+	now := int64(nw.env.Now())
+	var hit []*Flow
+	for _, f := range nw.flows {
+		if f.src == id || f.dst == id {
+			hit = append(hit, f)
+		}
+	}
+	if len(hit) == 0 {
+		return
+	}
+	for _, f := range hit {
+		f.advance(now)
+		f.err = fmt.Errorf("%w: node %d failed mid-flow", ErrNodeDown, id)
+		if f.timerSet {
+			nw.env.Cancel(f.timer)
+			f.timerSet = false
+		}
+		f.rate = 0
+		nw.deactivate(f)
+		nw.flowAborts.Inc()
+	}
+	nw.resolveFlows(now)
+	for _, f := range hit {
+		f.drained.Fire()
+	}
+}
+
+// TransferFlow is the flow-mode Send: software overhead on both hosts
+// around one analytic bulk transfer on the native transport.
+func (nw *Network) TransferFlow(p *sim.Proc, src, dst NodeID, n int64) error {
+	return nw.transferFlowVia(p, src, dst, n, false)
+}
+
+// TransferFlowLegacy is TransferFlow over the legacy transport.
+func (nw *Network) TransferFlowLegacy(p *sim.Proc, src, dst NodeID, n int64) error {
+	return nw.transferFlowVia(p, src, dst, n, true)
+}
+
+func (nw *Network) transferFlowVia(p *sim.Proc, src, dst NodeID, n int64, legacy bool) error {
+	f, err := nw.startFlow(src, dst, legacy)
+	if err != nil {
+		return err
+	}
+	p.Sleep(f.prof.SWOverhead)
+	err = f.Write(p, n)
+	if err == nil && src != dst {
+		p.Sleep(f.prof.SWOverhead) // receive-side processing
+	}
+	nw.putFlow(f)
+	return err
+}
+
+// RDMAWriteFlow is RDMAWrite's flow-mode counterpart: same software
+// overheads, one analytic transfer instead of the chunk train.
+func (nw *Network) RDMAWriteFlow(p *sim.Proc, local, remote NodeID, n int64) error {
+	f, err := nw.startFlow(local, remote, false)
+	if err != nil {
+		return err
+	}
+	p.Sleep(nw.prof.SWOverhead)
+	err = f.Write(p, n)
+	if err == nil && !nw.prof.OneSided {
+		p.Sleep(nw.prof.SWOverhead)
+	}
+	nw.putFlow(f)
+	return err
+}
+
+// RDMAReadFlow is RDMARead's flow-mode counterpart.
+func (nw *Network) RDMAReadFlow(p *sim.Proc, local, remote NodeID, n int64) error {
+	f, err := nw.startFlow(remote, local, false)
+	if err != nil {
+		return err
+	}
+	if nw.prof.OneSided {
+		p.Sleep(nw.prof.SWOverhead + nw.prof.Latency) // request descriptor
+		err = f.Write(p, n)
+	} else {
+		p.Sleep(nw.prof.SWOverhead + nw.prof.Latency + nw.prof.SWOverhead)
+		err = f.Write(p, n)
+		if err == nil {
+			p.Sleep(nw.prof.SWOverhead)
+		}
+	}
+	nw.putFlow(f)
+	return err
+}
+
+// putFlow recycles a one-shot wrapper's flow. Only the wrappers may call
+// it: they never leak the *Flow, so no caller can touch the recycled
+// session. Single-threaded like all netsim state (the sim runs one
+// process at a time), so no lock is needed.
+func (nw *Network) putFlow(f *Flow) {
+	f.closed = true
+	nw.flowPool = append(nw.flowPool, f)
+}
+
+// EnableFlowBulk makes BulkLegacy ride the flow fast path. It is the
+// network-wide knob for bulk users that have no config of their own
+// (e.g. the MapReduce shuffle).
+func (nw *Network) EnableFlowBulk() { nw.flowBulk = true }
+
+// FlowBulk reports whether EnableFlowBulk was called.
+func (nw *Network) FlowBulk() bool { return nw.flowBulk }
+
+// BulkLegacy moves a bulk payload over the legacy transport: packet-mode
+// SendLegacy by default, one analytic flow when EnableFlowBulk is set.
+// Control-plane messages should call SendLegacy or Call directly.
+func (nw *Network) BulkLegacy(p *sim.Proc, src, dst NodeID, n int64) error {
+	if nw.flowBulk {
+		return nw.TransferFlowLegacy(p, src, dst, n)
+	}
+	return nw.SendLegacy(p, src, dst, n)
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"hbb/internal/metrics"
 	"hbb/internal/sim"
 )
 
@@ -85,9 +86,12 @@ type iface struct {
 	// physical port but with its own lower software-limited bandwidth.
 	legEgress  *sim.Pipe
 	legIngress *sim.Pipe
-	down       bool
-	sent       int64
-	recv       int64
+	// flow-solver capacity records, created lazily on first use.
+	flEg, flIn       *flowLink
+	flLegEg, flLegIn *flowLink
+	down             bool
+	sent             int64
+	recv             int64
 }
 
 // service is one registered handler plus its precomputed cast process
@@ -104,15 +108,53 @@ type Network struct {
 	legacy   *Profile
 	ifaces   []*iface
 	services map[NodeID]map[string]*service
+
+	// Flow fast-path state (see flow.go). flows holds the currently
+	// draining flows in arrival order — the solver's deterministic
+	// iteration order.
+	flows       []*Flow
+	linkScratch []*flowLink
+	solveGen    uint64
+	flowBulk    bool
+	// flowPool recycles one-shot wrapper flows (see putFlow).
+	flowPool []*Flow
+
+	reg          *metrics.Registry
+	bytesNative  *metrics.Counter
+	bytesLegacy  *metrics.Counter
+	flowsStarted *metrics.Counter
+	flowResolves *metrics.Counter
+	flowAborts   *metrics.Counter
+	flowActive   *metrics.Histogram
 }
 
 // New returns a fabric with n nodes using the given transport profile.
 func New(env *sim.Env, prof Profile, n int) *Network {
 	nw := &Network{env: env, prof: prof, services: make(map[NodeID]map[string]*service)}
+	nw.reg = metrics.NewRegistry()
+	nw.bytesNative = nw.reg.Counter("net.bytes." + prof.Name)
+	nw.flowsStarted = nw.reg.Counter("net.flows.started")
+	nw.flowResolves = nw.reg.Counter("net.flow.resolves")
+	nw.flowAborts = nw.reg.Counter("net.flow.aborts")
+	nw.flowActive = nw.reg.Histogram("net.flows.active")
 	for i := 0; i < n; i++ {
 		nw.AddNode()
 	}
 	return nw
+}
+
+// Metrics returns the fabric's registry: per-transport bytes moved,
+// flow counts, and solver re-solve counters. Counters cost no virtual
+// time, so reading them never perturbs a run.
+func (nw *Network) Metrics() *metrics.Registry { return nw.reg }
+
+// bytesMoved picks the per-transport byte counter matching how
+// chooseTransport resolves the legacy flag.
+func (nw *Network) bytesMoved(legacy bool) *metrics.Counter {
+	if legacy && nw.legacy != nil {
+		return nw.bytesLegacy
+	}
+	return nw.bytesNative
 }
 
 // Env returns the owning environment.
@@ -147,6 +189,7 @@ func (nw *Network) SetLegacy(prof Profile) {
 		panic("netsim: SetLegacy after nodes were added")
 	}
 	nw.legacy = &prof
+	nw.bytesLegacy = nw.reg.Counter("net.bytes." + prof.Name)
 }
 
 // HasLegacy reports whether a legacy transport is configured.
@@ -160,8 +203,14 @@ func (nw *Network) checkNode(id NodeID) *iface {
 }
 
 // SetDown marks a node failed (true) or recovered (false). Messages to or
-// from a failed node error with ErrNodeDown.
-func (nw *Network) SetDown(id NodeID, down bool) { nw.checkNode(id).down = down }
+// from a failed node error with ErrNodeDown; flows touching it abort
+// mid-drain with the bytes transmitted so far delivered.
+func (nw *Network) SetDown(id NodeID, down bool) {
+	nw.checkNode(id).down = down
+	if down {
+		nw.abortFlows(id)
+	}
+}
 
 // Down reports whether a node is failed.
 func (nw *Network) Down(id NodeID) bool { return nw.checkNode(id).down }
@@ -206,6 +255,7 @@ func (nw *Network) transferVia(p *sim.Proc, src, dst NodeID, n int64, legacy boo
 	_, in := nw.ifaces[dst].pipes(legacy && nw.legacy != nil)
 	nw.ifaces[src].sent += n
 	nw.ifaces[dst].recv += n
+	nw.bytesMoved(legacy).Add(n)
 	chunk := e.Chunk()
 	lat := int64(prof.Latency)
 	var lastIngressEnd int64
@@ -221,10 +271,15 @@ func (nw *Network) transferVia(p *sim.Proc, src, dst NodeID, n int64, legacy boo
 		if endI > lastIngressEnd {
 			lastIngressEnd = endI
 		}
-		// Pace the sender by its egress pipe so other local flows can
-		// interleave; the receive tail is awaited after the loop.
-		p.Sleep(time.Duration(endE - int64(p.Now())))
 		n -= c
+		if n > 0 {
+			// Pace the sender by its egress pipe so other local flows can
+			// interleave. The final chunk skips this: its egress end is
+			// always at or before the ingress tail awaited below, so the
+			// extra wake-up would change nothing but cost a scheduler
+			// handshake — one chunk (every RPC envelope) sleeps once.
+			p.Sleep(time.Duration(endE - int64(p.Now())))
+		}
 	}
 	if tail := lastIngressEnd - int64(p.Now()); tail > 0 {
 		p.Sleep(time.Duration(tail))
@@ -249,7 +304,15 @@ func (nw *Network) Send(p *sim.Proc, src, dst NodeID, n int64) error {
 
 // SendLegacy is Send over the legacy (socket) transport when one is
 // configured, modelling stock-Hadoop traffic; otherwise it behaves like
-// Send. Use it for HDFS pipelines and MapReduce shuffles.
+// Send.
+//
+// Call-site rule since the flow fast path landed: control-plane
+// messages (end-of-block markers, heartbeats, RPC envelopes) stay on
+// SendLegacy/Call — they are latency-bound and cheap. Bulk payload
+// movement (HDFS pipeline packets, read streams, shuffle portions,
+// re-replication) should ride the Flow API instead —
+// StartFlowLegacy/TransferFlowLegacy, or BulkLegacy for callers without
+// a config knob — and use SendLegacy only as the packet-mode fallback.
 func (nw *Network) SendLegacy(p *sim.Proc, src, dst NodeID, n int64) error {
 	return nw.sendVia(p, src, dst, n, true)
 }

@@ -94,6 +94,38 @@ func (ev *Event) WaitTimeout(p *Proc, d time.Duration) bool {
 	return p.block() == wakeEvent
 }
 
+// Signal is a single-waiter wake-up, the allocation-free alternative to
+// Event for rendezvous points where exactly one process ever waits (e.g.
+// a flow's blocked writer). Each Wait/Fire pair is one cycle; after both
+// sides have met, the Signal is ready for the next cycle. The zero value
+// is ready to use.
+type Signal struct {
+	p     *Proc
+	fired bool // Fire arrived before Wait in this cycle
+}
+
+// Wait blocks the process until Fire is called. Returns immediately
+// (consuming the pending fire) if Fire already happened this cycle.
+func (s *Signal) Wait(p *Proc) {
+	if s.fired {
+		s.fired = false
+		return
+	}
+	s.p = p
+	p.block()
+}
+
+// Fire wakes the waiting process, or marks the cycle fired so the next
+// Wait returns immediately.
+func (s *Signal) Fire() {
+	if p := s.p; p != nil {
+		s.p = nil
+		p.unblock(wakeEvent)
+		return
+	}
+	s.fired = true
+}
+
 // WaitGroup counts outstanding work items on the virtual clock, analogous
 // to sync.WaitGroup. The zero value is ready to use.
 type WaitGroup struct {

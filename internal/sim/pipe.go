@@ -101,6 +101,19 @@ func (pp *Pipe) Transfer(p *Proc, n int64) {
 	}
 }
 
+// TransferFlat moves n bytes through the pipe as a single reservation —
+// one queueing-plus-service sleep instead of a per-chunk event train.
+// Concurrent users serialize whole transfers rather than interleaving, so
+// it suits the flow fast path's coarse device coupling where transfers
+// are already block- or segment-sized.
+func (pp *Pipe) TransferFlat(p *Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	end := pp.Reserve(int64(p.Now()), n)
+	p.Sleep(time.Duration(end - int64(p.Now())))
+}
+
 // Utilization returns served-time divided by elapsed, in [0,1], given the
 // total elapsed simulation time.
 func (pp *Pipe) Utilization(elapsed time.Duration) float64 {

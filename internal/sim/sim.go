@@ -44,6 +44,10 @@ type Env struct {
 	nextID  int
 	failure any // value from a panicking process, re-raised by Run
 	running bool
+	// events counts queue pops (process wakes + callback timers) over the
+	// environment's lifetime — the cost metric flow-level modeling is
+	// judged by. See Events.
+	events int64
 }
 
 // New returns an empty environment whose clock starts at zero. The seed
@@ -67,6 +71,12 @@ func (e *Env) Rand() *rand.Rand { return e.rng }
 // callback timers. Cancelled timers leave the queue immediately, so a
 // workload that keeps cancelling timed waits sees a bounded count here.
 func (e *Env) Pending() int { return e.q.Len() }
+
+// Events returns the cumulative number of events dispatched since the
+// environment was created: every process wake and callback timer popped
+// from the queue, including stale wakes. It is the kernel-work metric
+// benchmarks use to compare packet-level and flow-level data paths.
+func (e *Env) Events() int64 { return e.events }
 
 // Proc is a simulation process. A Proc value is only valid inside the
 // function passed to Spawn (and functions it calls); it is the handle
@@ -249,6 +259,7 @@ func (e *Env) RunUntil(limit time.Duration) time.Duration {
 		// including ones scheduled at t while dispatching — drains here.
 		for e.q.Len() > 0 && e.q.minTime() == t {
 			p, pgen, fn, reason := e.q.pop()
+			e.events++
 			if fn != nil {
 				fn() // callback timer: runs inline, no handshake
 				continue

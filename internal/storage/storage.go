@@ -189,6 +189,24 @@ func (d *Device) Read(p *sim.Proc, n int64) {
 	d.pipe.Transfer(p, d.scale(n, d.prof.ReadBW))
 }
 
+// WriteFlat charges the same latency and bandwidth as Write but books the
+// device in one reservation (a single wake) instead of the chunked
+// interleaving train — the flow-mode device-rate-coupled sink.
+func (d *Device) WriteFlat(p *sim.Proc, n int64) {
+	d.writeOps++
+	d.writeBytes += n
+	p.Sleep(d.prof.WriteLatency)
+	d.pipe.TransferFlat(p, d.scale(n, d.prof.WriteBW))
+}
+
+// ReadFlat is Read with a single flat reservation, for flow-mode readers.
+func (d *Device) ReadFlat(p *sim.Proc, n int64) {
+	d.readOps++
+	d.readBytes += n
+	p.Sleep(d.prof.ReadLatency)
+	d.pipe.TransferFlat(p, d.scale(n, d.prof.ReadBW))
+}
+
 // Stats reports cumulative traffic.
 func (d *Device) Stats() (readBytes, writeBytes, readOps, writeOps int64) {
 	return d.readBytes, d.writeBytes, d.readOps, d.writeOps

@@ -32,7 +32,10 @@ func newRig(nodes int) *rig {
 		},
 		Seed: 13,
 	})
-	h := hdfs.New(c, hdfs.Config{BlockSize: 16 * mib, PacketSize: mib})
+	h, err := hdfs.New(c, hdfs.Config{BlockSize: 16 * mib, PacketSize: mib})
+	if err != nil {
+		panic(err)
+	}
 	h.Start()
 	l := lustre.New(c, lustre.Config{OSTs: 4, StripeCount: 2})
 	return &rig{c: c, h: h, l: l}
