@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test vet race bench bench-smoke bench-kernel bench-dataplane bench-netsim stress repro tools clean
+.PHONY: all test vet race bench bench-smoke bench-kernel bench-dataplane bench-netsim bench-orchestration golden stress repro tools clean
 
 all: test
 
@@ -16,11 +16,12 @@ race:
 	go test -race ./...
 
 # Full micro-benchmark suite with allocation stats, summarized to
-# BENCH_5.json (flow fast-path PR: FlowTransfer/PipelineWriteFlow
-# events-per-op vs their packet counterparts are the headline metrics).
+# BENCH_6.json (buffer-instance orchestration PR: the Tab7 experiment and
+# MultiJobContention's fcfs vs backfill makespans are the headline
+# metrics).
 bench: tools
 	go test -run '^$$' -bench . -benchmem ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
-	./bin/benchjson -out BENCH_5.json -note "host: $$(nproc) CPU core(s); flow-level network fast-path PR — FlowTransfer and PipelineWriteFlow events/op vs the packet counterparts are the headline metrics; ExperimentsSerial must improve over BENCH_4 with flow streaming on in the tab experiments" < bench.out
+	./bin/benchjson -out BENCH_6.json -note "host: $$(nproc) CPU core(s); buffer-instance orchestration PR — Tab7Orchestration regenerates the multi-job table and MultiJobContention reports the four-job fcfs vs backfill makespans (queue-wait vs makespan trade-off); single-tenant goldens and benchmarks must match BENCH_5" < bench.out
 	rm -f bench.out
 
 # One-iteration benchmark pass: proves every benchmark still compiles and
@@ -42,6 +43,16 @@ bench-dataplane:
 # 3-replica HDFS pipeline write, events/op and allocs/op side by side.
 bench-netsim:
 	go test -run '^$$' -bench 'FlowTransfer|NetsimPacketTransfer|PipelineWrite' -benchmem ./internal/netsim/ ./internal/hdfs/
+
+# Multi-job orchestration benchmarks: the tab7 experiment regeneration and
+# the four-job contention makespan comparison (FCFS vs backfill).
+bench-orchestration:
+	go test -run '^$$' -bench 'Tab7|MultiJobContention' -benchmem .
+
+# Golden determinism suite: seed schemes, flow streaming, coalescing, and
+# the multi-job orchestration fingerprint must match their recorded values.
+golden:
+	go test -run 'TestGolden' -v .
 
 # Concurrency stress tests under the race detector: sharded engine, TCP
 # server, and pipelined client hammered by colliding goroutines.

@@ -8,8 +8,12 @@ package hbb
 // the virtual-time result — the tables carry the reproduced metrics.
 
 import (
+	"fmt"
 	"testing"
 	"time"
+
+	"hbb/internal/mapreduce"
+	"hbb/internal/orchestrator"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -200,6 +204,98 @@ func BenchmarkReadAheadStreaming(b *testing.B) {
 	b.ReportMetric(base, "rd-MB/s")
 	b.ReportMetric(ahead, "rd-MB/s-readahead")
 	b.ReportMetric(ahead/base, "read-speedup")
+}
+
+// BenchmarkTab7Orchestration regenerates the multi-job buffer
+// orchestration comparison (FCFS vs backfill over a shared brick pool).
+func BenchmarkTab7Orchestration(b *testing.B) { benchExperiment(b, "tab7") }
+
+// contentionOnce runs the tab7 four-job contention cell once under the
+// given queue discipline and returns the simulated makespan: heterogeneous
+// asks [5,4,2,2] against an 8-brick pool, each tenant staging in, running
+// a map-only job on its instance, and releasing.
+func contentionOnce(b *testing.B, sched string) time.Duration {
+	tb, err := New(Options{Nodes: 4, Seed: 1, ChunkSize: 4 << 20,
+		BlockSize: 16 << 20, BBServers: 2, BBServerMemory: 4 << 30,
+		BBFlushers: 1, BBSched: sched,
+		LustreOSTs: 2, LustreStripeCount: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bricks := []int{5, 4, 2, 2}
+	allocs := make([]*orchestrator.Allocation, len(bricks))
+	tb.Run(func(ctx *Ctx) {
+		orch, err := ctx.BufferOrchestrator(BackendBBAsync)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		for j := range bricks {
+			if err := ctx.WriteFile(BackendLustre, j,
+				fmt.Sprintf("/in/f%d", j), 32<<20); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		joins := make([]*Join, len(bricks))
+		for j := range bricks {
+			a := orch.Submit(orchestrator.Request{
+				Name:    fmt.Sprintf("job%d", j),
+				Bricks:  bricks[j],
+				Client:  tb.cluster.Nodes[j].ID,
+				StageIn: []orchestrator.StagePair{{Src: fmt.Sprintf("/in/f%d", j), Dst: "/data/in"}},
+			})
+			allocs[j] = a
+			j := j
+			joins[j] = ctx.Go(fmt.Sprintf("tenant%d", j), func(c2 *Ctx) {
+				if err := a.Await(c2.p); err != nil {
+					b.Error(err)
+					return
+				}
+				sub := c2.SubmitJob(mapreduce.Job{
+					Name:           fmt.Sprintf("job%d", j),
+					Input:          []string{"/data/in"},
+					InputFS:        a.FS(),
+					OutputFS:       a.FS(),
+					OutputDir:      "/data/out",
+					MapOutputRatio: 1.0,
+				})
+				if _, err := sub.Wait(c2.p); err != nil {
+					b.Error(err)
+					return
+				}
+				orch.Release(a)
+			})
+		}
+		for _, jn := range joins {
+			jn.Wait(ctx)
+		}
+		for _, a := range allocs {
+			a.AwaitFreed(ctx.p)
+		}
+	})
+	var makespan time.Duration
+	for _, a := range allocs {
+		if span := a.Times.Freed - a.Times.Submitted; span > makespan {
+			makespan = span
+		}
+	}
+	return makespan
+}
+
+// BenchmarkMultiJobContention reports the simulated four-job makespan
+// under FCFS and backfill side by side, so the queue-discipline trade-off
+// and the orchestration layer's own alloc cost show up in benchstat diffs.
+func BenchmarkMultiJobContention(b *testing.B) {
+	b.ReportAllocs()
+	var fcfs, backfill time.Duration
+	for i := 0; i < b.N; i++ {
+		fcfs = contentionOnce(b, "fcfs")
+		backfill = contentionOnce(b, "backfill")
+	}
+	b.ReportMetric(fcfs.Seconds()*1e3, "fcfs-makespan-ms")
+	b.ReportMetric(backfill.Seconds()*1e3, "backfill-makespan-ms")
+	b.ReportMetric(fcfs.Seconds()/backfill.Seconds(), "backfill-speedup")
 }
 
 // benchExperimentSet regenerates a bundle of cheap experiments end to end

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		id       = flag.String("experiment", "all", "experiment id (fig1..fig10, tab1..tab6) or 'all'")
+		id       = flag.String("experiment", "all", "experiment id (fig1..fig10, tab1..tab7) or 'all'")
 		scale    = flag.String("scale", "small", "sizing: 'small' (quick) or 'full' (paper-scale)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		backends = flag.String("backends", "", "comma-separated backends the macro-benchmarks compare (default: the paper's five; registered: "+strings.Join(hbb.BackendNames(), ",")+")")

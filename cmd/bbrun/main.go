@@ -29,6 +29,8 @@ func main() {
 		hardware = flag.String("hardware", "hpc-local", "hpc-local | diskless")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		flow     = flag.Bool("flow", false, "bulk transfers ride the netsim flow fast path")
+		brickGiB = flag.Int("bb-brick-gib", 1, "burst-buffer capacity granule in GiB (orchestrated allocations are whole bricks)")
+		bbSched  = flag.String("bb-sched", "fcfs", "buffer orchestrator queue discipline: fcfs | backfill")
 		trace    = flag.String("trace", "", "write a per-operation FS trace to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -63,6 +65,8 @@ func main() {
 		Seed:          *seed,
 		ChunkSize:     4 << 20,
 		FlowStreaming: *flow,
+		BBBrickGiB:    *brickGiB,
+		BBSched:       *bbSched,
 	}
 	if *trace != "" {
 		f, err := os.Create(*trace)

@@ -33,6 +33,7 @@ import (
 	"hbb/internal/mapreduce"
 	"hbb/internal/metrics"
 	"hbb/internal/netsim"
+	"hbb/internal/orchestrator"
 	"hbb/internal/sim"
 	"hbb/internal/workloads"
 )
@@ -249,6 +250,15 @@ type Options struct {
 	// BBReadAhead prefetches this many whole blocks ahead of a streaming
 	// reader (source choice + fetch overlap with delivery). Zero disables.
 	BBReadAhead int
+	// BBBrickGiB is the burst-buffer pool's capacity granule in GiB:
+	// buffer instances and orchestrated multi-job allocations are granted
+	// whole bricks per server (ServerMemory/brick bricks each). It does
+	// not affect the default single-tenant path. Zero defaults to 1 GiB.
+	BBBrickGiB int
+	// BBSched selects the buffer orchestrator's queue discipline: "fcfs"
+	// (default; strict arrival order) or "backfill" (later requests that
+	// fit may jump a blocked queue head).
+	BBSched string
 	// ChunkSize sets the streaming granularity (packets, KV items,
 	// stripes). Zero defaults to 1 MiB; large experiments may raise it to
 	// 4–8 MiB to reduce event counts without changing outcomes.
@@ -307,6 +317,7 @@ type Testbed struct {
 	lustre  *lustre.Lustre
 	hdfs    *hdfs.HDFS
 	bb      map[Backend]*core.BurstFS
+	orch    map[Backend]*orchestrator.Scheduler
 	traced  map[Backend]dfs.FileSystem
 	ran     bool
 }
@@ -324,6 +335,9 @@ func New(opts Options) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
+	if _, err := orchestrator.ParseSchedPolicy(opts.BBSched); err != nil {
+		return nil, err
+	}
 	var legacy *netsim.Profile
 	if prof.OneSided && !opts.DisableLegacy {
 		ipoib := netsim.IPoIB
@@ -337,7 +351,12 @@ func New(opts Options) (*Testbed, error) {
 		Hardware:  hw,
 		Seed:      opts.Seed,
 	})
-	tb := &Testbed{opts: opts, cluster: cl, bb: make(map[Backend]*core.BurstFS)}
+	tb := &Testbed{
+		opts:    opts,
+		cluster: cl,
+		bb:      make(map[Backend]*core.BurstFS),
+		orch:    make(map[Backend]*orchestrator.Scheduler),
+	}
 	if opts.FlowStreaming {
 		cl.Net.EnableFlowBulk() // shuffle and other knobless bulk users
 	}
@@ -377,6 +396,7 @@ func New(opts Options) (*Testbed, error) {
 			FlushConcurrency: opts.BBFlushConcurrency,
 			ReadAhead:        opts.BBReadAhead,
 			FlowStreaming:    opts.FlowStreaming,
+			BrickSize:        int64(opts.BBBrickGiB) << 30,
 		})
 	}
 	tb.traced = make(map[Backend]dfs.FileSystem)
@@ -466,6 +486,28 @@ func (tb *Testbed) BurstBufferMetrics(b Backend) (*metrics.Registry, bool) {
 		return nil, false
 	}
 	return fs.Metrics(), true
+}
+
+// BufferOrchestrator returns (creating on first use) the capacity
+// scheduler that hands out buffer instances from a burst-buffer backend's
+// brick inventory, with the queue discipline Options.BBSched selects.
+// Multi-job experiments submit orchestrator.Requests to it and run each
+// job against the granted allocation's instance file system.
+func (tb *Testbed) BufferOrchestrator(b Backend) (*orchestrator.Scheduler, error) {
+	fs, ok := tb.bb[b]
+	if !ok {
+		return nil, fmt.Errorf("hbb: %v is not a burst-buffer backend", b)
+	}
+	if s, ok := tb.orch[b]; ok {
+		return s, nil
+	}
+	pol, err := orchestrator.ParseSchedPolicy(tb.opts.BBSched)
+	if err != nil {
+		return nil, err
+	}
+	s := orchestrator.New(tb.cluster, fs, pol)
+	tb.orch[b] = s
+	return s, nil
 }
 
 // NetworkMetrics exposes the fabric's registry: per-transport bytes
@@ -573,6 +615,20 @@ func (c *Ctx) Scan(b Backend, dir, outDir string, selectivity float64) (mapreduc
 // RunJob executes an arbitrary MapReduce job (advanced use).
 func (c *Ctx) RunJob(job mapreduce.Job) (mapreduce.Result, error) {
 	return mapreduce.Run(c.p, c.tb.cluster, job)
+}
+
+// SubmitJob starts a MapReduce job without blocking the driver; the
+// returned submission's Wait rendezvouses with its result. Several
+// submissions contend for cluster slots, buffer bricks, and Lustre
+// bandwidth concurrently — the multi-tenant shape of a busy cluster.
+func (c *Ctx) SubmitJob(job mapreduce.Job) *mapreduce.Submission {
+	return mapreduce.Submit(c.tb.cluster, job)
+}
+
+// BufferOrchestrator returns the backend's buffer-instance capacity
+// scheduler (see Testbed.BufferOrchestrator).
+func (c *Ctx) BufferOrchestrator(b Backend) (*orchestrator.Scheduler, error) {
+	return c.tb.BufferOrchestrator(b)
 }
 
 // FSFor exposes the dfs.FileSystem of a backend for jobs built with

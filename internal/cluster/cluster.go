@@ -109,6 +109,9 @@ type Cluster struct {
 	Net   *netsim.Network
 	Nodes []*Node
 	cfg   Config
+	// nextJob numbers concurrently submitted jobs so their names (spawn
+	// labels, output dirs) stay unique and deterministic.
+	nextJob int
 }
 
 // New builds a cluster. The fabric contains exactly the compute nodes;
@@ -165,6 +168,14 @@ func New(cfg Config) *Cluster {
 
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
+
+// NextJobID returns a monotonically increasing job number. Concurrent-job
+// harnesses (mapreduce.Submit) draw from it so every job gets a unique,
+// deterministic identity regardless of submission interleaving.
+func (c *Cluster) NextJobID() int {
+	c.nextJob++
+	return c.nextJob
+}
 
 // Node returns the node with the given fabric ID, or nil for non-compute
 // fabric nodes (service hosts).

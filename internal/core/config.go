@@ -35,6 +35,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 )
 
@@ -160,6 +161,13 @@ type Config struct {
 	// path, with flat (single-reservation) ingest and device coupling.
 	// Off by default; the chunked packet path is what the seed goldens pin.
 	FlowStreaming bool
+	// BrickSize is the pool's capacity-accounting granule for buffer
+	// instances: NewInstance grants capacity in whole bricks per server,
+	// and the orchestrator schedules jobs against the pool's brick
+	// inventory (ServerMemory/BrickSize bricks per server). It has no
+	// effect on the default single-tenant path, which spans full server
+	// memory unmetered. Zero defaults to 1 GiB.
+	BrickSize int64
 }
 
 func (c Config) withDefaults() Config {
@@ -202,7 +210,68 @@ func (c Config) withDefaults() Config {
 	if c.AdaptiveCalmBlocks == 0 {
 		c.AdaptiveCalmBlocks = 1
 	}
+	if c.BrickSize == 0 {
+		c.BrickSize = 1 << 30
+	}
 	return c
+}
+
+// Validate rejects configurations that would hang, divide, or silently do
+// nothing later in the data plane. It is applied after defaulting, so a
+// zero value is fine (it means "use the default") but an explicit negative
+// is not. New panics on an invalid Config; callers that assemble configs
+// from user input (flags, orchestrator requests) should Validate first.
+func (c Config) Validate() error {
+	d := c.withDefaults()
+	if d.Servers <= 0 {
+		return fmt.Errorf("core: Servers must be positive, got %d", c.Servers)
+	}
+	if d.ServerMemory <= 0 {
+		return fmt.Errorf("core: ServerMemory must be positive, got %d", c.ServerMemory)
+	}
+	if d.BlockSize <= 0 {
+		return fmt.Errorf("core: BlockSize must be positive, got %d", c.BlockSize)
+	}
+	if d.ItemChunk <= 0 {
+		return fmt.Errorf("core: ItemChunk must be positive, got %d", c.ItemChunk)
+	}
+	if d.BrickSize <= 0 {
+		return fmt.Errorf("core: BrickSize must be positive, got %d", c.BrickSize)
+	}
+	if d.HighWatermark <= 0 || d.HighWatermark > 1 {
+		return fmt.Errorf("core: HighWatermark must be in (0,1], got %g", c.HighWatermark)
+	}
+	if d.PrefetchWindow <= 0 {
+		return fmt.Errorf("core: PrefetchWindow must be positive, got %d", c.PrefetchWindow)
+	}
+	if d.BufferReplicas <= 0 {
+		return fmt.Errorf("core: BufferReplicas must be positive, got %d", c.BufferReplicas)
+	}
+	if d.FlushBatchBlocks < 0 {
+		return fmt.Errorf("core: FlushBatchBlocks cannot be negative, got %d", c.FlushBatchBlocks)
+	}
+	if d.coalescing() && d.effectiveFlushers() < 1 {
+		return fmt.Errorf("core: FlushBatchBlocks=%d needs at least one flusher, got %d",
+			d.FlushBatchBlocks, d.effectiveFlushers())
+	}
+	if d.Flushers < 0 {
+		return fmt.Errorf("core: Flushers cannot be negative, got %d", c.Flushers)
+	}
+	if d.FlushConcurrency < 0 {
+		return fmt.Errorf("core: FlushConcurrency cannot be negative, got %d", c.FlushConcurrency)
+	}
+	if d.ReadAhead < 0 {
+		return fmt.Errorf("core: ReadAhead cannot be negative, got %d", c.ReadAhead)
+	}
+	if d.AdaptiveCalmBlocks > d.AdaptiveBurstBlocks {
+		return fmt.Errorf("core: AdaptiveCalmBlocks %d must not exceed AdaptiveBurstBlocks %d (hysteresis)",
+			d.AdaptiveCalmBlocks, d.AdaptiveBurstBlocks)
+	}
+	if int64(float64(d.ServerMemory)*d.HighWatermark) < d.BlockSize {
+		return fmt.Errorf("core: server memory %d cannot admit a single %d-byte block",
+			d.ServerMemory, d.BlockSize)
+	}
+	return nil
 }
 
 // effectiveFlushers resolves the flusher-pool size per server:

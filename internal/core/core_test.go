@@ -448,7 +448,7 @@ func TestKVEngineSeesTraffic(t *testing.T) {
 	})
 	var sets, gets, items int64
 	for _, s := range rig.fs.Servers() {
-		st := s.engine.Stats()
+		st := s.phys.engine.Stats()
 		sets += st.CmdSet
 		gets += st.GetHits
 		items += st.CurrItems
@@ -476,7 +476,7 @@ func TestRingSpreadsBlocksAcrossServers(t *testing.T) {
 	})
 	withData := 0
 	for _, s := range rig.fs.Servers() {
-		if s.setOps > 0 || s.bytes > 0 {
+		if s.phys.setOps > 0 || s.bytes > 0 {
 			withData++
 		}
 	}
@@ -934,13 +934,13 @@ func TestServerHandleUnknownOp(t *testing.T) {
 	rig.run(t, func(p *sim.Proc) {
 		s := rig.fs.Servers()[0]
 		rep := rig.fs.net.Call(p, &netsim.Msg{
-			From: 0, To: s.node, Service: "bb", Op: "bogus", Size: 8,
+			From: 0, To: s.phys.node, Service: "bb", Op: "bogus", Size: 8,
 		})
 		if rep.Err == nil {
 			t.Error("unknown op accepted")
 		}
 		rep = rig.fs.net.Call(p, &netsim.Msg{
-			From: 0, To: s.node, Service: "bb", Op: "delete", Size: 8, Payload: "missing",
+			From: 0, To: s.phys.node, Service: "bb", Op: "delete", Size: 8, Payload: "missing",
 		})
 		if rep.Err == nil {
 			t.Error("delete of missing key succeeded")

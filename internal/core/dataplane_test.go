@@ -20,7 +20,7 @@ func coalescedCfg(scheme Scheme, batch int) Config {
 // capped at the batch size.
 func TestFlushSchedulerRunClaim(t *testing.T) {
 	rig := newRig(2, coalescedCfg(SchemeAsyncLustre, 3))
-	s := rig.fs.servers[0]
+	s := rig.fs.Servers()[0]
 	mk := func(file string, idx int) *bbBlock {
 		return &bbBlock{id: int64(idx), file: file, fileIdx: idx, size: mib,
 			state: stateDirty, srvs: []*BufferServer{s}, localNode: -1}

@@ -11,7 +11,7 @@ import (
 // callback timer, not a ticker process: it costs no goroutine, fires inline
 // in the scheduler loop, and is only re-armed while deferred blocks remain,
 // so a drained burst buffer never keeps the simulation's event queue alive.
-func (fs *BurstFS) armFlushTick() {
+func (fs *Instance) armFlushTick() {
 	if fs.cfg.FlushTick <= 0 || fs.tickArmed {
 		return
 	}
@@ -24,11 +24,11 @@ func (fs *BurstFS) armFlushTick() {
 // from callback context (waking schedules an event; it never yields). The
 // promote pass also reports what stayed parked, so the re-arm decision
 // needs no second scan over the servers.
-func (fs *BurstFS) flushTickFire() {
+func (fs *Instance) flushTickFire() {
 	fs.tickArmed = false
 	promoted, remaining := 0, 0
 	for _, s := range fs.servers {
-		if s.failed {
+		if s.phys.failed {
 			remaining += len(s.deferred)
 			continue
 		}
@@ -57,7 +57,7 @@ func (s *BufferServer) flusherLoop(p *sim.Proc) {
 		if !ok {
 			return
 		}
-		if s.failed {
+		if s.phys.failed {
 			return
 		}
 		if s.sched != nil {
@@ -94,7 +94,7 @@ func (s *BufferServer) settleFlushed(p *sim.Proc, b *bbBlock, start time.Duratio
 		// error): put the block back in the dirty queue so its bytes are
 		// not stranded un-flushable. The requeue tolerates a queue closed
 		// by a concurrent Shutdown.
-		if !s.failed && b.primary() == s && !b.deleted {
+		if !s.phys.failed && b.primary() == s && !b.deleted {
 			b.state = stateDirty
 			if b.flushRetries < maxBlockRetries {
 				b.flushRetries++
@@ -166,7 +166,7 @@ func (s *BufferServer) flushRunObject(p *sim.Proc, run []*bbBlock) {
 		return
 	}
 	path := s.fs.runLustrePath()
-	w, err := s.fs.backing.Create(p, s.node, path)
+	w, err := s.fs.backing.Create(p, s.phys.node, path)
 	if err != nil {
 		return // transient or crash; settleFlushed decides per block
 	}
@@ -196,7 +196,7 @@ func (s *BufferServer) flushRunObject(p *sim.Proc, run []*bbBlock) {
 	}
 	flushed := false
 	for i, b := range live {
-		if offsets[i] < 0 || b.deleted || b.state != stateFlushing || s.failed {
+		if offsets[i] < 0 || b.deleted || b.state != stateFlushing || s.phys.failed {
 			continue
 		}
 		b.lustrePath = path
@@ -212,7 +212,7 @@ func (s *BufferServer) flushRunObject(p *sim.Proc, run []*bbBlock) {
 	if !flushed {
 		// Every block was deleted or reassigned mid-run: nobody references
 		// the object, so release its stripes.
-		_ = s.fs.backing.Delete(p, s.node, path)
+		_ = s.fs.backing.Delete(p, s.phys.node, path)
 	}
 }
 
@@ -225,7 +225,7 @@ func (s *BufferServer) flushBlock(p *sim.Proc, b *bbBlock) {
 		return // deleted while queued: skip the Lustre write entirely
 	}
 	path := s.fs.blockLustrePath(b)
-	w, err := s.fs.backing.Create(p, s.node, path)
+	w, err := s.fs.backing.Create(p, s.phys.node, path)
 	if err != nil {
 		// The server (or its link) failed mid-flush; FailServer's resident
 		// scan decides the block's fate.
@@ -243,10 +243,10 @@ func (s *BufferServer) flushBlock(p *sim.Proc, b *bbBlock) {
 		return
 	}
 	if b.deleted {
-		_ = s.fs.backing.Delete(p, s.node, path)
+		_ = s.fs.backing.Delete(p, s.phys.node, path)
 		return
 	}
-	if b.state != stateFlushing || s.failed {
+	if b.state != stateFlushing || s.phys.failed {
 		return
 	}
 	b.lustrePath = path

@@ -2,11 +2,9 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"hbb/internal/cluster"
 	"hbb/internal/dfs"
-	"hbb/internal/hashring"
 	"hbb/internal/lustre"
 	"hbb/internal/metrics"
 	"hbb/internal/netsim"
@@ -43,6 +41,9 @@ type bbBlock struct {
 	id   int64
 	key  string
 	size int64
+	// inst is the buffer instance the block belongs to: its namespace tree
+	// holds the file, its shares hold the payload, its stats count it.
+	inst *Instance
 	// file/fileIdx locate the block in its file — the coalescing flush
 	// scheduler groups dirty blocks by file and batches runs of adjacent
 	// fileIdx values into one Lustre object.
@@ -74,6 +75,9 @@ type bbBlock struct {
 	deleted      bool
 	// readmitting guards against duplicate cache-fill attempts.
 	readmitting bool
+	// imported marks stage-in blocks whose lustrePath is a caller-owned
+	// object (not a flush artifact the manager may delete).
+	imported bool
 }
 
 // bbFile is the per-file payload in the namespace tree.
@@ -107,32 +111,29 @@ func (b *bbBlock) dropServer(s *BufferServer) {
 	b.srvs = keep
 }
 
-// BurstFS is the burst-buffer file system: the paper's integration of HDFS
-// clients with Lustre through RDMA-Memcached. It implements
-// dfs.FileSystem.
+// BurstFS is the burst-buffer pool: the paper's integration of HDFS
+// clients with Lustre through RDMA-Memcached. It owns the physical
+// substrate — the metadata manager, the RDMA-Memcached server nodes, and
+// their brick inventory — and carves buffer *instances* (see Instance) out
+// of it. The pool is born with one default instance spanning its full
+// capacity, and BurstFS delegates the classic dfs.FileSystem surface to
+// it, so single-tenant callers never see the indirection.
 type BurstFS struct {
-	cfg       Config
-	policy    Policy
-	cl        *cluster.Cluster
-	net       *netsim.Network
-	backing   *lustre.Lustre
-	MgrNode   netsim.NodeID
-	tree      *dfs.Tree
-	servers   []*BufferServer
-	ring      *hashring.Ring
-	srvByName map[string]*BufferServer
+	cfg     Config
+	cl      *cluster.Cluster
+	net     *netsim.Network
+	backing *lustre.Lustre
+	MgrNode netsim.NodeID
+	// phys holds the physical buffer-server nodes; instances hold shares
+	// of them (BufferServer).
+	phys      []*serverNode
+	instances []*Instance
+	def       *Instance
 	nextBlock int64
 	// nextRun numbers coalesced-run Lustre objects (unique across retries).
 	nextRun int64
-	stats   Stats
-	metrics   *metrics.Registry
-	// openBlocks counts blocks currently being streamed by writers — a
-	// live traffic signal policies may read (see adaptivePolicy).
-	openBlocks int
-	// flushTick is the armed deferred-promotion timer (see Config.FlushTick
-	// and flusher.go); tickArmed keeps at most one pending at a time.
-	flushTick sim.Timer
-	tickArmed bool
+	metrics *metrics.Registry
+	running bool
 }
 
 var _ dfs.FileSystem = (*BurstFS)(nil)
@@ -142,189 +143,136 @@ var _ dfs.FileSystem = (*BurstFS)(nil)
 // deploys RDMA-Memcached on dedicated nodes). Call Start before running.
 func New(cl *cluster.Cluster, backing *lustre.Lustre, cfg Config) *BurstFS {
 	cfg = cfg.withDefaults()
-	if int64(float64(cfg.ServerMemory)*cfg.HighWatermark) < cfg.BlockSize {
-		panic(fmt.Sprintf("core: server memory %d cannot admit a single %d-byte block",
-			cfg.ServerMemory, cfg.BlockSize))
-	}
-	pol, err := newPolicy(cfg.policyName(), cfg)
-	if err != nil {
+	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	fs := &BurstFS{
-		cfg:       cfg,
-		policy:    pol,
-		cl:        cl,
-		net:       cl.Net,
-		backing:   backing,
-		MgrNode:   cl.Net.AddNode(),
-		tree:      dfs.NewTree(),
-		ring:      hashring.New(0),
-		srvByName: make(map[string]*BufferServer),
-		metrics:   metrics.NewRegistry(),
+		cfg:     cfg,
+		cl:      cl,
+		net:     cl.Net,
+		backing: backing,
+		MgrNode: cl.Net.AddNode(),
+		metrics: metrics.NewRegistry(),
 	}
 	for i := 0; i < cfg.Servers; i++ {
-		s := newBufferServer(fs, i)
-		fs.servers = append(fs.servers, s)
-		fs.srvByName[s.name] = s
-		fs.ring.Add(s.name)
+		fs.phys = append(fs.phys, newServerNode(fs, i))
 	}
 	fs.net.Register(fs.MgrNode, mgrService, fs.handleMgr)
+	def, err := fs.NewInstance(InstanceSpec{Name: DefaultInstanceName})
+	if err != nil {
+		panic(err)
+	}
+	fs.def = def
 	return fs
 }
 
-// Name implements dfs.FileSystem.
-func (fs *BurstFS) Name() string { return fs.policy.Name() }
+// DefaultInstance returns the pool's full-capacity compatibility instance.
+func (fs *BurstFS) DefaultInstance() *Instance { return fs.def }
 
-// Policy returns the active integration policy.
-func (fs *BurstFS) Policy() Policy { return fs.policy }
+// Instances returns the live instances in creation order.
+func (fs *BurstFS) Instances() []*Instance { return fs.instances }
 
-// Stats returns activity counters.
-func (fs *BurstFS) Stats() Stats { return fs.stats }
+// serverBrickCap is one physical server's brick inventory.
+func (fs *BurstFS) serverBrickCap() int {
+	return int(fs.cfg.ServerMemory / fs.cfg.BrickSize)
+}
 
-// Metrics returns the per-scheme metrics registry: flush-latency and
+// TotalBricks returns the pool-wide brick inventory (the default instance
+// is an unmetered compatibility view and does not consume bricks).
+func (fs *BurstFS) TotalBricks() int {
+	total := 0
+	for _, ph := range fs.phys {
+		if !ph.failed {
+			total += fs.serverBrickCap()
+		}
+	}
+	return total
+}
+
+// FreeBricks returns unallocated bricks across live servers.
+func (fs *BurstFS) FreeBricks() int {
+	free := 0
+	for _, ph := range fs.phys {
+		if !ph.failed {
+			free += fs.serverBrickCap() - ph.bricksUsed
+		}
+	}
+	return free
+}
+
+// FreeBricksPerServer returns each live server's unallocated bricks
+// (failed servers report zero).
+func (fs *BurstFS) FreeBricksPerServer() []int {
+	out := make([]int, len(fs.phys))
+	for i, ph := range fs.phys {
+		if !ph.failed {
+			out[i] = fs.serverBrickCap() - ph.bricksUsed
+		}
+	}
+	return out
+}
+
+// Name implements dfs.FileSystem (default instance's policy name).
+func (fs *BurstFS) Name() string { return fs.def.Name() }
+
+// Policy returns the default instance's integration policy.
+func (fs *BurstFS) Policy() Policy { return fs.def.policy }
+
+// Stats returns the default instance's activity counters.
+func (fs *BurstFS) Stats() Stats { return fs.def.stats }
+
+// Metrics returns the pool-wide metrics registry: flush-latency and
 // writer-stall histograms, read-source hit counters, and any counters the
-// active policy maintains.
+// active policies maintain. The default instance's metrics appear under
+// their classic bare names; other instances are namespaced
+// "bb.<instance>.".
 func (fs *BurstFS) Metrics() *metrics.Registry { return fs.metrics }
 
 // Config returns the effective configuration.
 func (fs *BurstFS) Config() Config { return fs.cfg }
 
-// Servers exposes the buffer servers (tests, reports).
-func (fs *BurstFS) Servers() []*BufferServer { return fs.servers }
+// Servers exposes the default instance's buffer servers (tests, reports).
+func (fs *BurstFS) Servers() []*BufferServer { return fs.def.servers }
 
-// BufferedBytes returns total payload resident across servers.
-func (fs *BurstFS) BufferedBytes() int64 {
-	var total int64
-	for _, s := range fs.servers {
-		total += s.bytes
-	}
-	return total
-}
+// BufferedBytes returns total payload resident in the default instance.
+func (fs *BurstFS) BufferedBytes() int64 { return fs.def.BufferedBytes() }
 
-// Start launches the flusher pools. SchemeSyncLustre needs none, but the
-// pools are started anyway to drain recovery work uniformly.
+// Start launches the flusher pools of every instance. SchemeSyncLustre
+// needs none, but the pools are started anyway to drain recovery work
+// uniformly.
 func (fs *BurstFS) Start() {
-	for _, s := range fs.servers {
-		for i := 0; i < fs.cfg.effectiveFlushers(); i++ {
-			s := s
-			fs.cl.Env.Spawn(fmt.Sprintf("%s.flusher%d", s.name, i), func(p *sim.Proc) {
-				s.flusherLoop(p)
-			})
-		}
+	fs.running = true
+	for _, inst := range fs.instances {
+		inst.start()
 	}
 }
 
 // Shutdown stops the flusher pools once their queues drain. Deferred
-// blocks are promoted first so nothing dirty is left behind, and a pending
-// flush tick is cancelled so it cannot keep the event queue alive.
+// blocks are promoted first so nothing dirty is left behind, and pending
+// flush ticks are cancelled so they cannot keep the event queue alive.
 func (fs *BurstFS) Shutdown() {
-	if fs.tickArmed {
-		fs.cl.Env.Cancel(fs.flushTick)
-		fs.tickArmed = false
-	}
-	for _, s := range fs.servers {
-		s.promoteDeferred(false)
-		s.dirtyQueue.Close()
+	for _, inst := range fs.instances {
+		inst.shutdown()
 	}
 }
 
 // DrainFlushers blocks the calling process until no dirty or flushing
-// blocks remain (used by harnesses that want flush-inclusive timings).
-func (fs *BurstFS) DrainFlushers(p *sim.Proc) {
-	for {
-		busy := false
-		for _, s := range fs.servers {
-			// A promoted block may be handed straight to a blocked flusher
-			// (queue length stays 0 until it runs), so promotion itself
-			// counts as in-flight work.
-			promoted, _ := s.promoteDeferred(false)
-			if promoted > 0 || s.dirtyBacklog() > 0 || s.flushing > 0 {
-				busy = true
-				break
-			}
-		}
-		if !busy {
-			return
-		}
-		p.Sleep(time.Duration(fs.cl.Env.Rand().Int63n(1e6) + 1e7)) // ~10ms poll
-	}
-}
+// blocks remain in the default instance (used by harnesses that want
+// flush-inclusive timings).
+func (fs *BurstFS) DrainFlushers(p *sim.Proc) { fs.def.DrainFlushers(p) }
 
-// FailServer simulates a buffer-server crash. In-buffer replicas are
-// promoted first; then clean blocks remain available on Lustre and dirty
-// blocks are recovered from local replicas when the scheme provides them;
-// otherwise they are lost (the loss window the sync scheme closes).
+// FailServer simulates a buffer-server crash. Every instance placed on
+// the server reacts: in-buffer replicas are promoted first; then clean
+// blocks remain available on Lustre and dirty blocks are recovered from
+// local replicas when the scheme provides them; otherwise they are lost
+// (the loss window the sync scheme closes).
 func (fs *BurstFS) FailServer(i int) {
-	s := fs.servers[i]
-	s.failed = true
-	fs.net.SetDown(s.node, true)
-	fs.ring.Remove(s.name)
-	s.signalFlushProgress() // release stalled writers into the error path
-	for b := range s.resident {
-		wasPrimary := b.primary() == s
-		b.dropServer(s)
-		if next := b.primary(); next != nil {
-			// A surviving in-buffer replica takes over; dirty blocks go to
-			// the new primary's flusher queue.
-			if wasPrimary && (b.state == stateDirty || b.state == stateFlushing) {
-				b.state = stateDirty
-				// A crash requeue is pressure work: the surviving holder is
-				// carrying extra bytes it wants evictable soon.
-				next.enqueueDirty(b, true)
-			}
-			fs.stats.Promotions++
-			continue
-		}
-		switch b.state {
-		case stateClean:
-			b.state = stateEvicted
-		case stateDirty, stateFlushing:
-			if b.localNode >= 0 && !fs.net.Down(b.localNode) {
-				fs.recoverFromLocal(b)
-			} else {
-				b.state = stateLost
-				fs.stats.BlocksLost++
-			}
-		}
+	ph := fs.phys[i]
+	ph.failed = true
+	fs.net.SetDown(ph.node, true)
+	for _, inst := range fs.instances {
+		inst.failServer(ph)
 	}
-	s.resident = make(map[*bbBlock]struct{})
-	s.deferred = nil
-	s.bytes = 0
-}
-
-// recoverFromLocal re-flushes a dirty block from its node-local replica to
-// Lustre after its buffer server died.
-func (fs *BurstFS) recoverFromLocal(b *bbBlock) {
-	fs.cl.Env.Spawn(fmt.Sprintf("bb.recover.b%d", b.id), func(p *sim.Proc) {
-		// A half-finished flush may already own the block's regular object
-		// name; recovery writes a distinct one.
-		path := fmt.Sprintf("%s/blk-%d.recovered", lustreDir, b.id)
-		w, err := fs.backing.Create(p, b.localNode, path)
-		if err != nil {
-			b.state = stateLost
-			fs.stats.BlocksLost++
-			return
-		}
-		remaining := b.size
-		for remaining > 0 {
-			n := min64(remaining, fs.cfg.ItemChunk)
-			b.localDev.Read(p, n)
-			if err := w.Write(p, n); err != nil {
-				b.state = stateLost
-				fs.stats.BlocksLost++
-				return
-			}
-			remaining -= n
-		}
-		if err := w.Close(p); err != nil {
-			b.state = stateLost
-			fs.stats.BlocksLost++
-			return
-		}
-		b.lustrePath = path
-		b.state = stateEvicted
-		fs.stats.BlocksRecovered++
-	})
 }
 
 func (fs *BurstFS) blockLustrePath(b *bbBlock) string {
@@ -342,31 +290,14 @@ func (fs *BurstFS) runLustrePath() string {
 	return fmt.Sprintf("%s/run-%d", lustreDir, fs.nextRun)
 }
 
-// openBlockObject opens a block's backing Lustre bytes for streaming:
-// a ranged reader inside the shared run object when the block was flushed
-// coalesced, the whole per-block object otherwise.
-func (fs *BurstFS) openBlockObject(p *sim.Proc, client netsim.NodeID, b *bbBlock) (dfs.Reader, error) {
-	if b.lustreRunLen > 0 {
-		return fs.backing.OpenRange(p, client, b.lustrePath, b.lustreOff, b.size)
-	}
-	return fs.backing.Open(p, client, b.lustrePath)
+// manager RPC payloads. Path-typed requests carry the owning instance so
+// one manager serves every instance's namespace tree.
+type mgrPathReq struct {
+	inst *Instance
+	path string
 }
-
-// pickServers maps a block key to its replica set of live buffer servers.
-func (fs *BurstFS) pickServers(key string) ([]*BufferServer, error) {
-	names := fs.ring.GetN(key, fs.cfg.BufferReplicas)
-	if len(names) == 0 {
-		return nil, fmt.Errorf("core: no live buffer servers")
-	}
-	out := make([]*BufferServer, len(names))
-	for i, n := range names {
-		out[i] = fs.srvByName[n]
-	}
-	return out, nil
-}
-
-// manager RPC payloads.
 type mgrAddBlockReq struct {
+	inst   *Instance
 	path   string
 	client netsim.NodeID
 }
@@ -374,19 +305,27 @@ type mgrCommitReq struct {
 	path  string
 	block *bbBlock
 }
+type mgrImportReq struct {
+	inst     *Instance
+	src, dst string
+	size     int64
+}
 
 // handleMgr serves the metadata manager.
 func (fs *BurstFS) handleMgr(p *sim.Proc, m *netsim.Msg) netsim.Reply {
 	p.Sleep(fs.cfg.MDOpLatency)
 	switch m.Op {
 	case "create":
-		_, err := fs.tree.CreateFile(m.Payload.(string))
+		req := m.Payload.(*mgrPathReq)
+		_, err := req.inst.tree.CreateFile(req.path)
 		return netsim.Reply{Size: 64, Err: err}
 	case "mkdir":
-		return netsim.Reply{Size: 64, Err: fs.tree.MkdirAll(m.Payload.(string))}
+		req := m.Payload.(*mgrPathReq)
+		return netsim.Reply{Size: 64, Err: req.inst.tree.MkdirAll(req.path)}
 	case "addBlock":
 		req := m.Payload.(*mgrAddBlockReq)
-		f, err := fs.tree.GetFile(req.path)
+		inst := req.inst
+		f, err := inst.tree.GetFile(req.path)
 		if err != nil {
 			return netsim.Reply{Size: 64, Err: err}
 		}
@@ -397,12 +336,13 @@ func (fs *BurstFS) handleMgr(p *sim.Proc, m *netsim.Msg) netsim.Reply {
 		b := &bbBlock{
 			id:        fs.nextBlock,
 			key:       fmt.Sprintf("blk-%d", fs.nextBlock),
+			inst:      inst,
 			file:      req.path,
 			fileIdx:   len(filePayload(f).blocks),
 			state:     stateDirty,
 			localNode: -1,
 		}
-		srvs, err := fs.pickServers(b.key)
+		srvs, err := inst.pickServers(b.key)
 		if err != nil {
 			return netsim.Reply{Size: 64, Err: err}
 		}
@@ -413,32 +353,34 @@ func (fs *BurstFS) handleMgr(p *sim.Proc, m *netsim.Msg) netsim.Reply {
 		// The block's server died mid-write: drop it from the old server's
 		// view and pick the next live one on the ring.
 		b := m.Payload.(*bbBlock)
-		srvs, err := fs.pickServers(b.key)
+		srvs, err := b.inst.pickServers(b.key)
 		if err != nil {
 			return netsim.Reply{Size: 64, Err: err}
 		}
 		b.srvs = srvs
 		b.state = stateDirty
 		b.attempt++
-		fs.stats.BlockRetries++
+		b.inst.stats.BlockRetries++
 		return netsim.Reply{Size: 96, Payload: b}
 	case "commitBlock":
 		req := m.Payload.(*mgrCommitReq)
-		f, err := fs.tree.GetFile(req.path)
+		f, err := req.block.inst.tree.GetFile(req.path)
 		if err != nil {
 			return netsim.Reply{Size: 64, Err: err}
 		}
 		f.Size += req.block.size
 		return netsim.Reply{Size: 64}
 	case "complete":
-		f, err := fs.tree.GetFile(m.Payload.(string))
+		req := m.Payload.(*mgrPathReq)
+		f, err := req.inst.tree.GetFile(req.path)
 		if err != nil {
 			return netsim.Reply{Size: 64, Err: err}
 		}
 		f.UnderConstruction = false
 		return netsim.Reply{Size: 64}
 	case "getBlocks":
-		f, err := fs.tree.GetFile(m.Payload.(string))
+		req := m.Payload.(*mgrPathReq)
+		f, err := req.inst.tree.GetFile(req.path)
 		if err != nil {
 			return netsim.Reply{Size: 64, Err: err}
 		}
@@ -448,19 +390,53 @@ func (fs *BurstFS) handleMgr(p *sim.Proc, m *netsim.Msg) netsim.Reply {
 		blocks := filePayload(f).blocks
 		return netsim.Reply{Size: 64 + int64(len(blocks))*48, Payload: blocks}
 	case "stat":
-		fi, err := fs.tree.Stat(m.Payload.(string))
+		req := m.Payload.(*mgrPathReq)
+		fi, err := req.inst.tree.Stat(req.path)
 		return netsim.Reply{Size: 128, Payload: fi, Err: err}
 	case "list":
-		fis, err := fs.tree.List(m.Payload.(string))
+		req := m.Payload.(*mgrPathReq)
+		fis, err := req.inst.tree.List(req.path)
 		return netsim.Reply{Size: 64 + int64(len(fis))*64, Payload: fis, Err: err}
 	case "delete":
-		f, err := fs.tree.Remove(m.Payload.(string))
+		req := m.Payload.(*mgrPathReq)
+		f, err := req.inst.tree.Remove(req.path)
 		if err != nil {
 			return netsim.Reply{Size: 64, Err: err}
 		}
 		if f != nil && f.Data != nil {
 			fs.deleteBlocks(p, filePayload(f).blocks)
 		}
+		return netsim.Reply{Size: 64}
+	case "importFile":
+		// Stage-in metadata: register an existing Lustre object as a
+		// buffer file whose blocks are evicted byte ranges of it. Prestage
+		// (or plain reads) then pull the bytes through the normal paths.
+		req := m.Payload.(*mgrImportReq)
+		inst := req.inst
+		f, err := inst.tree.CreateFile(req.dst)
+		if err != nil {
+			return netsim.Reply{Size: 64, Err: err}
+		}
+		for off := int64(0); off < req.size; off += inst.cfg.BlockSize {
+			fs.nextBlock++
+			b := &bbBlock{
+				id:           fs.nextBlock,
+				key:          fmt.Sprintf("blk-%d", fs.nextBlock),
+				inst:         inst,
+				file:         req.dst,
+				fileIdx:      len(filePayload(f).blocks),
+				size:         min64(inst.cfg.BlockSize, req.size-off),
+				state:        stateEvicted,
+				localNode:    -1,
+				lustrePath:   req.src,
+				lustreOff:    off,
+				lustreRunLen: req.size,
+				imported:     true,
+			}
+			filePayload(f).blocks = append(filePayload(f).blocks, b)
+			f.Size += b.size
+		}
+		f.UnderConstruction = false
 		return netsim.Reply{Size: 64}
 	default:
 		return netsim.Reply{Err: fmt.Errorf("core: unknown mgr op %q", m.Op)}
@@ -473,7 +449,7 @@ func (fs *BurstFS) deleteBlocks(p *sim.Proc, blocks []*bbBlock) {
 	for _, b := range blocks {
 		b.deleted = true
 		for _, s := range append([]*BufferServer(nil), b.srvs...) {
-			if !s.failed {
+			if !s.phys.failed {
 				s.deleteBlock(b)
 				// The freed bytes may satisfy a writer stalled on this
 				// server; flush progress is the space-available signal.
@@ -486,68 +462,54 @@ func (fs *BurstFS) deleteBlocks(p *sim.Proc, blocks []*bbBlock) {
 			b.localDev = nil
 			b.localNode = -1
 		}
-		if b.lustrePath != "" {
+		if b.lustrePath != "" && !b.imported {
+			// Imported blocks borrow a caller-owned Lustre object
+			// (stage-in); deleting the buffer file must not delete it.
 			_ = fs.backing.Delete(p, fs.MgrNode, b.lustrePath)
 		}
 		b.state = stateEvicted
 	}
 }
 
-func (fs *BurstFS) callMgr(p *sim.Proc, from netsim.NodeID, op string, payload any) netsim.Reply {
-	return fs.net.Call(p, &netsim.Msg{
-		From: from, To: fs.MgrNode, Service: mgrService, Op: op,
-		Size: 192, Payload: payload,
-	})
+// Create implements dfs.FileSystem on the default instance.
+func (fs *BurstFS) Create(p *sim.Proc, client netsim.NodeID, path string) (dfs.Writer, error) {
+	return fs.def.Create(p, client, path)
+}
+
+// Open implements dfs.FileSystem on the default instance.
+func (fs *BurstFS) Open(p *sim.Proc, client netsim.NodeID, path string) (dfs.Reader, error) {
+	return fs.def.Open(p, client, path)
+}
+
+// Prestage warms the default instance's buffer with a file's evicted
+// blocks (see Instance.Prestage).
+func (fs *BurstFS) Prestage(p *sim.Proc, client netsim.NodeID, path string) (int, error) {
+	return fs.def.Prestage(p, client, path)
 }
 
 // Mkdir implements dfs.FileSystem.
 func (fs *BurstFS) Mkdir(p *sim.Proc, client netsim.NodeID, path string) error {
-	return fs.callMgr(p, client, "mkdir", path).Err
+	return fs.def.Mkdir(p, client, path)
 }
 
 // Stat implements dfs.FileSystem.
 func (fs *BurstFS) Stat(p *sim.Proc, client netsim.NodeID, path string) (dfs.FileInfo, error) {
-	rep := fs.callMgr(p, client, "stat", path)
-	if rep.Err != nil {
-		return dfs.FileInfo{}, rep.Err
-	}
-	return rep.Payload.(dfs.FileInfo), nil
+	return fs.def.Stat(p, client, path)
 }
 
 // List implements dfs.FileSystem.
 func (fs *BurstFS) List(p *sim.Proc, client netsim.NodeID, dir string) ([]dfs.FileInfo, error) {
-	rep := fs.callMgr(p, client, "list", dir)
-	if rep.Err != nil {
-		return nil, rep.Err
-	}
-	return rep.Payload.([]dfs.FileInfo), nil
+	return fs.def.List(p, client, dir)
 }
 
 // Delete implements dfs.FileSystem.
 func (fs *BurstFS) Delete(p *sim.Proc, client netsim.NodeID, path string) error {
-	return fs.callMgr(p, client, "delete", path).Err
+	return fs.def.Delete(p, client, path)
 }
 
-// BlockLocations implements dfs.FileSystem: only SchemeLocalityAware
-// yields node-local hosts (its local replicas); buffered and Lustre data
-// is equally remote from every compute node.
+// BlockLocations implements dfs.FileSystem.
 func (fs *BurstFS) BlockLocations(p *sim.Proc, client netsim.NodeID, path string) ([]dfs.BlockLocation, error) {
-	rep := fs.callMgr(p, client, "getBlocks", path)
-	if rep.Err != nil {
-		return nil, rep.Err
-	}
-	blocks := rep.Payload.([]*bbBlock)
-	out := make([]dfs.BlockLocation, len(blocks))
-	var off int64
-	for i, b := range blocks {
-		loc := dfs.BlockLocation{Offset: off, Length: b.size}
-		if b.localNode >= 0 && !fs.net.Down(b.localNode) {
-			loc.Hosts = []netsim.NodeID{b.localNode}
-		}
-		out[i] = loc
-		off += b.size
-	}
-	return out, nil
+	return fs.def.BlockLocations(p, client, path)
 }
 
 // LocalStorageUsed reports bytes of compute-node-local storage consumed by

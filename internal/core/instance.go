@@ -1,0 +1,509 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hbb/internal/cluster"
+	"hbb/internal/dfs"
+	"hbb/internal/hashring"
+	"hbb/internal/lustre"
+	"hbb/internal/metrics"
+	"hbb/internal/netsim"
+	"hbb/internal/sim"
+)
+
+// DefaultInstanceName is the name of the compatibility instance every pool
+// is born with: it spans the pool's full capacity and serves the classic
+// single-tenant BurstFS API, so code written before instances existed keeps
+// running — and keeps producing byte-identical results.
+const DefaultInstanceName = "default"
+
+// Instance is one allocatable burst buffer carved out of a pool (BurstFS).
+// The paper's buffer is shared cluster infrastructure; an Instance is what
+// one tenant gets from it: a private namespace tree, its own policy, stats,
+// and metrics namespace, and a byte share ("bricks") on each buffer server
+// it was placed on. The physical substrate — fabric nodes, memcached
+// engines, ingest pipes, Lustre — stays shared, which is exactly where
+// multi-job contention comes from.
+//
+// Instance implements dfs.FileSystem; writers, readers, and flushers all
+// operate on an Instance, never on the pool directly.
+type Instance struct {
+	name string
+	pool *BurstFS
+
+	// cfg is the pool configuration with Policy resolved per instance.
+	cfg    Config
+	policy Policy
+
+	// Shared substrate, copied from the pool for convenience.
+	cl      *cluster.Cluster
+	net     *netsim.Network
+	backing *lustre.Lustre
+	MgrNode netsim.NodeID
+
+	tree      *dfs.Tree
+	servers   []*BufferServer
+	ring      *hashring.Ring
+	srvByName map[string]*BufferServer
+
+	stats   Stats
+	metrics *metrics.View
+
+	// bricks is the instance's capacity grant in pool bricks (0 for the
+	// default instance, which spans full server memory unmetered).
+	bricks int
+
+	// openBlocks counts blocks currently being streamed by writers — a
+	// live traffic signal policies may read (see adaptivePolicy).
+	openBlocks int
+	// flushTick is the armed deferred-promotion timer (see Config.FlushTick
+	// and flusher.go); tickArmed keeps at most one pending at a time.
+	flushTick sim.Timer
+	tickArmed bool
+
+	started  bool
+	released bool
+}
+
+var _ dfs.FileSystem = (*Instance)(nil)
+
+// InstanceSpec describes a buffer instance to allocate from a pool.
+type InstanceSpec struct {
+	// Name labels the instance (spawn names, metrics namespace). Must be
+	// unique within the pool.
+	Name string
+	// Policy selects the integration policy by registry name; empty uses
+	// the pool's default policy.
+	Policy string
+	// BricksPerServer grants the instance this many bricks on each pool
+	// server (len must equal the pool's server count; zero entries leave
+	// the instance unplaced on that server). Nil grants full server memory
+	// on every server — the default instance's unmetered compatibility
+	// share, which does not count against pool brick inventory.
+	BricksPerServer []int
+}
+
+// NewInstance allocates a buffer instance from the pool. The per-server
+// byte share is BricksPerServer[i] × BrickSize; admission control
+// (HighWatermark) applies to the share, so every placed share must admit at
+// least one block. The instance is started (flusher pools spawned) if the
+// pool is already running.
+func (fs *BurstFS) NewInstance(spec InstanceSpec) (*Instance, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("core: instance needs a name")
+	}
+	for _, in := range fs.instances {
+		if in.name == spec.Name {
+			return nil, fmt.Errorf("core: instance %q already exists", spec.Name)
+		}
+	}
+	cfg := fs.cfg
+	if spec.Policy != "" {
+		cfg.Policy = spec.Policy
+	}
+	pol, err := newPolicy(cfg.policyName(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	limits := make([]int64, len(fs.phys))
+	bricks := 0
+	if spec.BricksPerServer == nil {
+		for i := range limits {
+			limits[i] = cfg.ServerMemory
+		}
+	} else {
+		if len(spec.BricksPerServer) != len(fs.phys) {
+			return nil, fmt.Errorf("core: instance %q places %d servers, pool has %d",
+				spec.Name, len(spec.BricksPerServer), len(fs.phys))
+		}
+		for i, n := range spec.BricksPerServer {
+			if n < 0 {
+				return nil, fmt.Errorf("core: instance %q: negative bricks on server %d", spec.Name, i)
+			}
+			if n == 0 {
+				continue
+			}
+			if fs.phys[i].bricksUsed+n > fs.serverBrickCap() {
+				return nil, fmt.Errorf("core: instance %q: %d bricks on server %d exceed the %d free",
+					spec.Name, n, i, fs.serverBrickCap()-fs.phys[i].bricksUsed)
+			}
+			limits[i] = int64(n) * fs.cfg.BrickSize
+			if int64(float64(limits[i])*cfg.HighWatermark) < cfg.BlockSize {
+				return nil, fmt.Errorf("core: instance %q: %d bricks on server %d cannot admit a single %d-byte block",
+					spec.Name, n, i, cfg.BlockSize)
+			}
+			bricks += n
+		}
+		if bricks == 0 {
+			return nil, fmt.Errorf("core: instance %q places no bricks", spec.Name)
+		}
+	}
+	inst := &Instance{
+		name:      spec.Name,
+		pool:      fs,
+		cfg:       cfg,
+		policy:    pol,
+		cl:        fs.cl,
+		net:       fs.net,
+		backing:   fs.backing,
+		MgrNode:   fs.MgrNode,
+		tree:      dfs.NewTree(),
+		ring:      hashring.New(0),
+		srvByName: make(map[string]*BufferServer),
+		bricks:    bricks,
+	}
+	alias := spec.Name == DefaultInstanceName
+	inst.metrics = fs.metrics.View(fmt.Sprintf("bb.%s.", spec.Name), alias)
+	for i, ph := range fs.phys {
+		if limits[i] <= 0 {
+			continue
+		}
+		s := newBufferServer(inst, ph, limits[i])
+		inst.servers = append(inst.servers, s)
+		inst.srvByName[s.name] = s
+		inst.ring.Add(s.name)
+		if spec.BricksPerServer != nil {
+			ph.bricksUsed += spec.BricksPerServer[i]
+		}
+	}
+	fs.instances = append(fs.instances, inst)
+	if fs.running {
+		inst.start()
+	}
+	return inst, nil
+}
+
+// start launches the instance's flusher pools. The default instance keeps
+// the seed's exact spawn names and order; other instances prefix theirs.
+func (inst *Instance) start() {
+	if inst.started {
+		return
+	}
+	inst.started = true
+	for _, s := range inst.servers {
+		for i := 0; i < inst.cfg.effectiveFlushers(); i++ {
+			s := s
+			name := fmt.Sprintf("%s.flusher%d", s.name, i)
+			if inst.name != DefaultInstanceName {
+				name = fmt.Sprintf("%s.%s.flusher%d", inst.name, s.name, i)
+			}
+			inst.cl.Env.Spawn(name, func(p *sim.Proc) {
+				s.flusherLoop(p)
+			})
+		}
+	}
+}
+
+// shutdown stops the instance's flusher pools once their queues drain,
+// promoting parked deferred blocks first and cancelling a pending tick.
+func (inst *Instance) shutdown() {
+	if inst.tickArmed {
+		inst.cl.Env.Cancel(inst.flushTick)
+		inst.tickArmed = false
+	}
+	for _, s := range inst.servers {
+		s.promoteDeferred(false)
+		s.dirtyQueue.Close()
+	}
+}
+
+// InstanceName returns the instance's pool-unique name.
+func (inst *Instance) InstanceName() string { return inst.name }
+
+// Name implements dfs.FileSystem. The default instance reports the pool's
+// policy name (the seed behaviour every report keys on); other instances
+// report their own name.
+func (inst *Instance) Name() string {
+	if inst.name == DefaultInstanceName {
+		return inst.policy.Name()
+	}
+	return inst.name
+}
+
+// Policy returns the instance's integration policy.
+func (inst *Instance) Policy() Policy { return inst.policy }
+
+// Stats returns the instance's activity counters.
+func (inst *Instance) Stats() Stats { return inst.stats }
+
+// Metrics returns the instance's namespaced metrics view.
+func (inst *Instance) Metrics() *metrics.View { return inst.metrics }
+
+// Bricks returns the instance's capacity grant (0 = unmetered default).
+func (inst *Instance) Bricks() int { return inst.bricks }
+
+// Servers exposes the instance's per-server shares (tests, reports).
+func (inst *Instance) Servers() []*BufferServer { return inst.servers }
+
+// BufferedBytes returns payload resident across the instance's shares.
+func (inst *Instance) BufferedBytes() int64 {
+	var total int64
+	for _, s := range inst.servers {
+		total += s.bytes
+	}
+	return total
+}
+
+// Release tears the instance down and returns its bricks to the pool:
+// flushers are stopped, every resident block's items are deleted from the
+// shared engines, and the instance stops accepting operations. Dirty data
+// is NOT drained here — call DrainFlushers first (the orchestrator's
+// stage-out does) or accept the loss. Releasing the default instance or
+// releasing twice panics: both are orchestration bugs.
+func (inst *Instance) Release() {
+	if inst.name == DefaultInstanceName {
+		panic("core: cannot release the default instance")
+	}
+	if inst.released {
+		panic(fmt.Sprintf("core: instance %q released twice", inst.name))
+	}
+	inst.released = true
+	inst.shutdown()
+	for _, s := range inst.servers {
+		for _, b := range s.residentByID() {
+			s.deleteBlock(b)
+			b.dropServer(s)
+			if b.primary() == nil && b.state != stateLost {
+				if b.lustrePath != "" {
+					b.state = stateEvicted
+				} else {
+					b.state = stateLost
+				}
+			}
+		}
+		if s.phys != nil && inst.bricks > 0 {
+			s.phys.bricksUsed -= int(s.limit / inst.pool.cfg.BrickSize)
+		}
+		s.bytes = 0
+	}
+	keep := inst.pool.instances[:0]
+	for _, in := range inst.pool.instances {
+		if in != inst {
+			keep = append(keep, in)
+		}
+	}
+	inst.pool.instances = keep
+}
+
+// callMgr issues one metadata RPC against the pool manager on behalf of
+// this instance; path-typed ops carry the instance so the manager resolves
+// the right namespace tree.
+func (inst *Instance) callMgr(p *sim.Proc, from netsim.NodeID, op string, payload any) netsim.Reply {
+	return inst.net.Call(p, &netsim.Msg{
+		From: from, To: inst.MgrNode, Service: mgrService, Op: op,
+		Size: 192, Payload: payload,
+	})
+}
+
+func (inst *Instance) pathReq(path string) *mgrPathReq {
+	return &mgrPathReq{inst: inst, path: path}
+}
+
+// pickServers maps a block key to its replica set of live shares.
+func (inst *Instance) pickServers(key string) ([]*BufferServer, error) {
+	names := inst.ring.GetN(key, inst.cfg.BufferReplicas)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("core: no live buffer servers")
+	}
+	out := make([]*BufferServer, len(names))
+	for i, n := range names {
+		out[i] = inst.srvByName[n]
+	}
+	return out, nil
+}
+
+// itemKeys returns the chunked item keys of a block.
+func (inst *Instance) itemKeys(b *bbBlock) []string {
+	n := int((b.size + inst.cfg.ItemChunk - 1) / inst.cfg.ItemChunk)
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%s#%d", b.key, i)
+	}
+	return keys
+}
+
+func (inst *Instance) blockLustrePath(b *bbBlock) string { return inst.pool.blockLustrePath(b) }
+func (inst *Instance) runLustrePath() string             { return inst.pool.runLustrePath() }
+
+// openBlockObject opens a block's backing Lustre bytes for streaming:
+// a ranged reader inside the shared run object when the block was flushed
+// coalesced, the whole per-block object otherwise.
+func (inst *Instance) openBlockObject(p *sim.Proc, client netsim.NodeID, b *bbBlock) (dfs.Reader, error) {
+	if b.lustreRunLen > 0 {
+		return inst.backing.OpenRange(p, client, b.lustrePath, b.lustreOff, b.size)
+	}
+	return inst.backing.Open(p, client, b.lustrePath)
+}
+
+// Mkdir implements dfs.FileSystem.
+func (inst *Instance) Mkdir(p *sim.Proc, client netsim.NodeID, path string) error {
+	return inst.callMgr(p, client, "mkdir", inst.pathReq(path)).Err
+}
+
+// Stat implements dfs.FileSystem.
+func (inst *Instance) Stat(p *sim.Proc, client netsim.NodeID, path string) (dfs.FileInfo, error) {
+	rep := inst.callMgr(p, client, "stat", inst.pathReq(path))
+	if rep.Err != nil {
+		return dfs.FileInfo{}, rep.Err
+	}
+	return rep.Payload.(dfs.FileInfo), nil
+}
+
+// List implements dfs.FileSystem.
+func (inst *Instance) List(p *sim.Proc, client netsim.NodeID, dir string) ([]dfs.FileInfo, error) {
+	rep := inst.callMgr(p, client, "list", inst.pathReq(dir))
+	if rep.Err != nil {
+		return nil, rep.Err
+	}
+	return rep.Payload.([]dfs.FileInfo), nil
+}
+
+// Delete implements dfs.FileSystem.
+func (inst *Instance) Delete(p *sim.Proc, client netsim.NodeID, path string) error {
+	return inst.callMgr(p, client, "delete", inst.pathReq(path)).Err
+}
+
+// BlockLocations implements dfs.FileSystem: only locality-aware policies
+// yield node-local hosts (their local replicas); buffered and Lustre data
+// is equally remote from every compute node.
+func (inst *Instance) BlockLocations(p *sim.Proc, client netsim.NodeID, path string) ([]dfs.BlockLocation, error) {
+	rep := inst.callMgr(p, client, "getBlocks", inst.pathReq(path))
+	if rep.Err != nil {
+		return nil, rep.Err
+	}
+	blocks := rep.Payload.([]*bbBlock)
+	out := make([]dfs.BlockLocation, len(blocks))
+	var off int64
+	for i, b := range blocks {
+		loc := dfs.BlockLocation{Offset: off, Length: b.size}
+		if b.localNode >= 0 && !inst.net.Down(b.localNode) {
+			loc.Hosts = []netsim.NodeID{b.localNode}
+		}
+		out[i] = loc
+		off += b.size
+	}
+	return out, nil
+}
+
+// DrainFlushers blocks the calling process until no dirty or flushing
+// blocks remain on the instance (used by harnesses that want
+// flush-inclusive timings, and by the orchestrator's stage-out).
+func (inst *Instance) DrainFlushers(p *sim.Proc) {
+	for {
+		busy := false
+		for _, s := range inst.servers {
+			// A promoted block may be handed straight to a blocked flusher
+			// (queue length stays 0 until it runs), so promotion itself
+			// counts as in-flight work.
+			promoted, _ := s.promoteDeferred(false)
+			if promoted > 0 || s.dirtyBacklog() > 0 || s.flushing > 0 {
+				busy = true
+				break
+			}
+		}
+		if !busy {
+			return
+		}
+		p.Sleep(time.Duration(inst.cl.Env.Rand().Int63n(1e6) + 1e7)) // ~10ms poll
+	}
+}
+
+// StageInFile imports an existing Lustre file into the instance namespace
+// and pulls its blocks into the buffer (burst-buffer stage-in): the file
+// appears at dst backed block-by-block by byte ranges of the Lustre
+// object, and Prestage then fetches every block its share has room for.
+// It returns the number of blocks staged into the buffer; blocks that did
+// not fit stay Lustre-backed and readable.
+func (inst *Instance) StageInFile(p *sim.Proc, client netsim.NodeID, src, dst string) (int, error) {
+	fi, err := inst.backing.Stat(p, client, src)
+	if err != nil {
+		return 0, err
+	}
+	rep := inst.callMgr(p, client, "importFile", &mgrImportReq{
+		inst: inst, src: src, dst: dst, size: fi.Size,
+	})
+	if rep.Err != nil {
+		return 0, rep.Err
+	}
+	return inst.Prestage(p, client, dst)
+}
+
+// failServer applies a physical server crash to this instance's share of
+// it: the share leaves the placement ring, stalled writers are released
+// into the error path, and every resident block is promoted, recovered,
+// or lost exactly as the single-tenant path always did.
+func (inst *Instance) failServer(ph *serverNode) {
+	s := inst.srvByName[ph.name]
+	if s == nil {
+		return // instance not placed on this server
+	}
+	inst.ring.Remove(s.name)
+	s.signalFlushProgress() // release stalled writers into the error path
+	for b := range s.resident {
+		wasPrimary := b.primary() == s
+		b.dropServer(s)
+		if next := b.primary(); next != nil {
+			// A surviving in-buffer replica takes over; dirty blocks go to
+			// the new primary's flusher queue.
+			if wasPrimary && (b.state == stateDirty || b.state == stateFlushing) {
+				b.state = stateDirty
+				// A crash requeue is pressure work: the surviving holder is
+				// carrying extra bytes it wants evictable soon.
+				next.enqueueDirty(b, true)
+			}
+			inst.stats.Promotions++
+			continue
+		}
+		switch b.state {
+		case stateClean:
+			b.state = stateEvicted
+		case stateDirty, stateFlushing:
+			if b.localNode >= 0 && !inst.net.Down(b.localNode) {
+				inst.recoverFromLocal(b)
+			} else {
+				b.state = stateLost
+				inst.stats.BlocksLost++
+			}
+		}
+	}
+	s.resident = make(map[*bbBlock]struct{})
+	s.deferred = nil
+	s.bytes = 0
+}
+
+// recoverFromLocal re-flushes a dirty block from its node-local replica to
+// Lustre after its buffer server died.
+func (inst *Instance) recoverFromLocal(b *bbBlock) {
+	inst.cl.Env.Spawn(fmt.Sprintf("bb.recover.b%d", b.id), func(p *sim.Proc) {
+		// A half-finished flush may already own the block's regular object
+		// name; recovery writes a distinct one.
+		path := fmt.Sprintf("%s/blk-%d.recovered", lustreDir, b.id)
+		w, err := inst.backing.Create(p, b.localNode, path)
+		if err != nil {
+			b.state = stateLost
+			inst.stats.BlocksLost++
+			return
+		}
+		remaining := b.size
+		for remaining > 0 {
+			n := min64(remaining, inst.cfg.ItemChunk)
+			b.localDev.Read(p, n)
+			if err := w.Write(p, n); err != nil {
+				b.state = stateLost
+				inst.stats.BlocksLost++
+				return
+			}
+			remaining -= n
+		}
+		if err := w.Close(p); err != nil {
+			b.state = stateLost
+			inst.stats.BlocksLost++
+			return
+		}
+		b.lustrePath = path
+		b.state = stateEvicted
+		inst.stats.BlocksRecovered++
+	})
+}

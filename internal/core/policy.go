@@ -87,14 +87,14 @@ type Policy interface {
 	Name() string
 	// OnBlockOpen is consulted by the writer when a block starts
 	// streaming; the returned plan fixes the block's side channels and
-	// persistence mode. Policies may inspect live fs state (queue depths,
-	// open-block counts) to decide per block.
-	OnBlockOpen(fs *BurstFS, b *bbBlock) BlockPlan
+	// persistence mode. Policies may inspect live instance state (queue
+	// depths, open-block counts) to decide per block.
+	OnBlockOpen(fs *Instance, b *bbBlock) BlockPlan
 	// ReadSources returns the ordered source preference for reading b.
-	ReadSources(fs *BurstFS, b *bbBlock) []SourceKind
+	ReadSources(fs *Instance, b *bbBlock) []SourceKind
 	// OnEvict is notified after a clean block was evicted from a server
 	// to make room (bookkeeping only; the eviction already happened).
-	OnEvict(fs *BurstFS, b *bbBlock)
+	OnEvict(fs *Instance, b *bbBlock)
 }
 
 // policyFactories maps registered policy names to their constructors.

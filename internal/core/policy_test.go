@@ -43,22 +43,22 @@ func init() {
 type lustreFirstPolicy struct{}
 
 func (lustreFirstPolicy) Name() string { return "test-lustre-first" }
-func (lustreFirstPolicy) OnBlockOpen(*BurstFS, *bbBlock) BlockPlan {
+func (lustreFirstPolicy) OnBlockOpen(*Instance, *bbBlock) BlockPlan {
 	return BlockPlan{Mode: FlushAsync}
 }
-func (lustreFirstPolicy) ReadSources(*BurstFS, *bbBlock) []SourceKind {
+func (lustreFirstPolicy) ReadSources(*Instance, *bbBlock) []SourceKind {
 	return []SourceKind{SourceLustre, SourceRemoteLocal, SourceBuffer, SourceLocal}
 }
-func (lustreFirstPolicy) OnEvict(*BurstFS, *bbBlock) {}
+func (lustreFirstPolicy) OnEvict(*Instance, *bbBlock) {}
 
 type deferredPolicy struct{}
 
 func (deferredPolicy) Name() string { return "test-deferred" }
-func (deferredPolicy) OnBlockOpen(*BurstFS, *bbBlock) BlockPlan {
+func (deferredPolicy) OnBlockOpen(*Instance, *bbBlock) BlockPlan {
 	return BlockPlan{Mode: FlushDeferred}
 }
-func (deferredPolicy) ReadSources(*BurstFS, *bbBlock) []SourceKind { return DefaultReadOrder() }
-func (deferredPolicy) OnEvict(*BurstFS, *bbBlock)                  {}
+func (deferredPolicy) ReadSources(*Instance, *bbBlock) []SourceKind { return DefaultReadOrder() }
+func (deferredPolicy) OnEvict(*Instance, *bbBlock)                  {}
 
 func TestPolicyRegistry(t *testing.T) {
 	names := PolicyNames()

@@ -9,8 +9,8 @@ import (
 )
 
 // Open implements dfs.FileSystem.
-func (fs *BurstFS) Open(p *sim.Proc, client netsim.NodeID, path string) (dfs.Reader, error) {
-	rep := fs.callMgr(p, client, "getBlocks", path)
+func (fs *Instance) Open(p *sim.Proc, client netsim.NodeID, path string) (dfs.Reader, error) {
+	rep := fs.callMgr(p, client, "getBlocks", fs.pathReq(path))
 	if rep.Err != nil {
 		return nil, rep.Err
 	}
@@ -26,7 +26,7 @@ func (fs *BurstFS) Open(p *sim.Proc, client netsim.NodeID, path string) (dfs.Rea
 // then Lustre). Mid-block failures fall back to the next source,
 // re-fetching the consumed prefix.
 type bbReader struct {
-	fs     *BurstFS
+	fs     *Instance
 	client netsim.NodeID
 	path   string
 	blocks []*bbBlock
@@ -83,7 +83,7 @@ func (r *bbReader) chooseSource(b *bbBlock, tried map[string]struct{}) (string, 
 			inBuffer := b.state == stateDirty || b.state == stateFlushing || b.state == stateClean
 			if inBuffer {
 				for _, s := range b.srvs {
-					if !s.failed && try(srcBuffer+":"+s.name) {
+					if !s.phys.failed && try(srcBuffer+":"+s.name) {
 						return srcBuffer + ":" + s.name, s, nil
 					}
 				}
@@ -227,7 +227,7 @@ func (r *bbReader) produceBuffer(b *bbBlock, srv *BufferServer, out *sim.Store[p
 		f := f
 		fs.cl.Env.Spawn(fmt.Sprintf("bb.readbuf.b%d.%d", b.id, f), func(q *sim.Proc) {
 			for i := f; i < len(keys); i += fetchers {
-				if srv.failed {
+				if srv.phys.failed {
 					out.PutWait(q, packet{err: true})
 					return
 				}
@@ -378,7 +378,7 @@ func (r *bbReader) Close(p *sim.Proc) error {
 // maybeReadmit re-admits an evicted block into the buffer as a clean cache
 // fill after a Lustre read, when configured and when the ring's owner has
 // headroom (cache fills never stall or evict).
-func (fs *BurstFS) maybeReadmit(client netsim.NodeID, b *bbBlock) {
+func (fs *Instance) maybeReadmit(client netsim.NodeID, b *bbBlock) {
 	if !fs.cfg.ReadmitOnRead || b.state != stateEvicted || b.deleted ||
 		len(b.srvs) != 0 || b.readmitting {
 		return
@@ -388,7 +388,7 @@ func (fs *BurstFS) maybeReadmit(client netsim.NodeID, b *bbBlock) {
 		return
 	}
 	s := srvs[0]
-	if s.failed || s.bytes+b.size > s.budget() {
+	if s.phys.failed || s.bytes+b.size > s.budget() {
 		return
 	}
 	b.readmitting = true
@@ -396,7 +396,7 @@ func (fs *BurstFS) maybeReadmit(client netsim.NodeID, b *bbBlock) {
 		defer func() { b.readmitting = false }()
 		remaining := b.size
 		for _, key := range fs.itemKeys(b) {
-			if s.failed || b.deleted {
+			if s.phys.failed || b.deleted {
 				return
 			}
 			n := min64(remaining, fs.cfg.ItemChunk)
@@ -405,7 +405,7 @@ func (fs *BurstFS) maybeReadmit(client netsim.NodeID, b *bbBlock) {
 			}
 			remaining -= n
 		}
-		if b.deleted || b.state != stateEvicted || s.failed {
+		if b.deleted || b.state != stateEvicted || s.phys.failed {
 			return
 		}
 		b.srvs = []*BufferServer{s}
@@ -422,8 +422,8 @@ func (fs *BurstFS) maybeReadmit(client netsim.NodeID, b *bbBlock) {
 // blocks already buffered are left alone, and blocks that would not fit
 // under the watermark are skipped rather than stalling. It returns the
 // number of blocks staged.
-func (fs *BurstFS) Prestage(p *sim.Proc, client netsim.NodeID, path string) (int, error) {
-	rep := fs.callMgr(p, client, "getBlocks", path)
+func (fs *Instance) Prestage(p *sim.Proc, client netsim.NodeID, path string) (int, error) {
+	rep := fs.callMgr(p, client, "getBlocks", fs.pathReq(path))
 	if rep.Err != nil {
 		return 0, rep.Err
 	}
@@ -439,7 +439,7 @@ func (fs *BurstFS) Prestage(p *sim.Proc, client netsim.NodeID, path string) (int
 			return staged, err
 		}
 		s := srvs[0]
-		if s.failed || s.bytes+b.size > s.budget() {
+		if s.phys.failed || s.bytes+b.size > s.budget() {
 			continue
 		}
 		b.readmitting = true
@@ -451,7 +451,7 @@ func (fs *BurstFS) Prestage(p *sim.Proc, client netsim.NodeID, path string) (int
 			defer func() { b.readmitting = false }()
 			ok := fs.stageInBlock(q, s, b)
 			s.bytes -= b.size // the reservation; admitted() re-adds on success
-			if !ok || b.deleted || b.state != stateEvicted || s.failed {
+			if !ok || b.deleted || b.state != stateEvicted || s.phys.failed {
 				return
 			}
 			b.srvs = []*BufferServer{s}
@@ -467,15 +467,15 @@ func (fs *BurstFS) Prestage(p *sim.Proc, client netsim.NodeID, path string) (int
 
 // stageInBlock copies one block Lustre -> buffer server, charging the
 // server-side Lustre read and the ingest pipe.
-func (fs *BurstFS) stageInBlock(p *sim.Proc, s *BufferServer, b *bbBlock) bool {
-	lr, err := fs.openBlockObject(p, s.node, b)
+func (fs *Instance) stageInBlock(p *sim.Proc, s *BufferServer, b *bbBlock) bool {
+	lr, err := fs.openBlockObject(p, s.phys.node, b)
 	if err != nil {
 		return false
 	}
 	defer lr.Close(p)
 	remaining := b.size
 	for _, key := range fs.itemKeys(b) {
-		if s.failed || b.deleted {
+		if s.phys.failed || b.deleted {
 			return false
 		}
 		n := min64(remaining, fs.cfg.ItemChunk)
@@ -484,12 +484,12 @@ func (fs *BurstFS) stageInBlock(p *sim.Proc, s *BufferServer, b *bbBlock) bool {
 			return false
 		}
 		if fs.cfg.FlowStreaming {
-			s.ingest.TransferFlat(p, n)
+			s.phys.ingest.TransferFlat(p, n)
 		} else {
-			s.ingest.Transfer(p, n)
+			s.phys.ingest.Transfer(p, n)
 		}
 		rep := fs.net.Call(p, &netsim.Msg{
-			From: s.node, To: s.node, Service: bbService, Op: "set",
+			From: s.phys.node, To: s.phys.node, Service: bbService, Op: "set",
 			Size: 64, Payload: &bbSetReq{key: key, size: n},
 		})
 		if rep.Err != nil {

@@ -24,7 +24,7 @@ type adaptivePolicy struct {
 func (a *adaptivePolicy) Name() string { return "bb-adaptive" }
 
 // pressure counts in-flight blocks: streaming writers plus flusher backlog.
-func (a *adaptivePolicy) pressure(fs *BurstFS) int {
+func (a *adaptivePolicy) pressure(fs *Instance) int {
 	depth := fs.openBlocks
 	for _, s := range fs.servers {
 		depth += s.dirtyBacklog() + s.flushing + len(s.deferred)
@@ -32,7 +32,7 @@ func (a *adaptivePolicy) pressure(fs *BurstFS) int {
 	return depth
 }
 
-func (a *adaptivePolicy) OnBlockOpen(fs *BurstFS, b *bbBlock) BlockPlan {
+func (a *adaptivePolicy) OnBlockOpen(fs *Instance, b *bbBlock) BlockPlan {
 	p := a.pressure(fs)
 	if a.burst {
 		if p <= a.cfg.AdaptiveCalmBlocks {
@@ -49,6 +49,6 @@ func (a *adaptivePolicy) OnBlockOpen(fs *BurstFS, b *bbBlock) BlockPlan {
 	return BlockPlan{Mode: FlushWriteThrough, LustreTee: true}
 }
 
-func (a *adaptivePolicy) ReadSources(*BurstFS, *bbBlock) []SourceKind { return DefaultReadOrder() }
+func (a *adaptivePolicy) ReadSources(*Instance, *bbBlock) []SourceKind { return DefaultReadOrder() }
 
-func (a *adaptivePolicy) OnEvict(*BurstFS, *bbBlock) {}
+func (a *adaptivePolicy) OnEvict(*Instance, *bbBlock) {}

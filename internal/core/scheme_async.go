@@ -12,10 +12,10 @@ type asyncPolicy struct{}
 
 func (asyncPolicy) Name() string { return "bb-async" }
 
-func (asyncPolicy) OnBlockOpen(*BurstFS, *bbBlock) BlockPlan {
+func (asyncPolicy) OnBlockOpen(*Instance, *bbBlock) BlockPlan {
 	return BlockPlan{Mode: FlushAsync}
 }
 
-func (asyncPolicy) ReadSources(*BurstFS, *bbBlock) []SourceKind { return DefaultReadOrder() }
+func (asyncPolicy) ReadSources(*Instance, *bbBlock) []SourceKind { return DefaultReadOrder() }
 
-func (asyncPolicy) OnEvict(*BurstFS, *bbBlock) {}
+func (asyncPolicy) OnEvict(*Instance, *bbBlock) {}

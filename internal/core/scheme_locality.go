@@ -13,10 +13,10 @@ type localityPolicy struct{}
 
 func (localityPolicy) Name() string { return "bb-locality" }
 
-func (localityPolicy) OnBlockOpen(*BurstFS, *bbBlock) BlockPlan {
+func (localityPolicy) OnBlockOpen(*Instance, *bbBlock) BlockPlan {
 	return BlockPlan{Mode: FlushAsync, LocalTee: true}
 }
 
-func (localityPolicy) ReadSources(*BurstFS, *bbBlock) []SourceKind { return DefaultReadOrder() }
+func (localityPolicy) ReadSources(*Instance, *bbBlock) []SourceKind { return DefaultReadOrder() }
 
-func (localityPolicy) OnEvict(*BurstFS, *bbBlock) {}
+func (localityPolicy) OnEvict(*Instance, *bbBlock) {}

@@ -11,10 +11,10 @@ type syncPolicy struct{}
 
 func (syncPolicy) Name() string { return "bb-sync" }
 
-func (syncPolicy) OnBlockOpen(*BurstFS, *bbBlock) BlockPlan {
+func (syncPolicy) OnBlockOpen(*Instance, *bbBlock) BlockPlan {
 	return BlockPlan{Mode: FlushWriteThrough, LustreTee: true}
 }
 
-func (syncPolicy) ReadSources(*BurstFS, *bbBlock) []SourceKind { return DefaultReadOrder() }
+func (syncPolicy) ReadSources(*Instance, *bbBlock) []SourceKind { return DefaultReadOrder() }
 
-func (syncPolicy) OnEvict(*BurstFS, *bbBlock) {}
+func (syncPolicy) OnEvict(*Instance, *bbBlock) {}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"hbb/internal/memcached"
 	"hbb/internal/netsim"
@@ -11,12 +12,12 @@ import (
 // bbService is the fabric service name of a buffer server.
 const bbService = "bb"
 
-// BufferServer is one RDMA-Memcached node of the burst buffer. It embeds a
-// real memcached engine holding virtual (size-only) items; clients move
-// payload bytes with one-sided RDMA ops and metadata with small RPCs,
-// mirroring the HiBD RDMA-Memcached design.
-type BufferServer struct {
-	fs     *BurstFS
+// serverNode is one physical RDMA-Memcached node of the burst-buffer
+// pool: the fabric endpoint, the memcached engine, and the SET-side
+// ingest pipe. Instances hold BufferServer shares of it; the physical
+// resources — and therefore contention between instances — stay here.
+type serverNode struct {
+	pool   *BurstFS
 	index  int
 	name   string
 	node   netsim.NodeID
@@ -25,6 +26,72 @@ type BufferServer struct {
 	// GETs bypass it.
 	ingest *sim.Pipe
 	failed bool
+	// bricksUsed is the capacity already granted to metered instances.
+	bricksUsed int
+
+	setOps, getOps int64
+}
+
+func newServerNode(fs *BurstFS, index int) *serverNode {
+	ph := &serverNode{
+		pool:  fs,
+		index: index,
+		name:  fmt.Sprintf("bbsrv%d", index),
+		node:  fs.net.AddNode(),
+		engine: memcached.NewEngine(memcached.Config{
+			MemLimit:    fs.cfg.ServerMemory,
+			MaxItemSize: int(fs.cfg.ItemChunk) + 512,
+			Clock:       func() int64 { return int64(fs.cl.Env.Now()) },
+		}),
+	}
+	ph.ingest = sim.NewPipe(ph.name+".ingest", fs.cfg.ServerIngestRate)
+	fs.net.Register(ph.node, bbService, ph.handle)
+	return ph
+}
+
+// handle serves the control-plane side of buffer operations. Payload
+// transfers are charged separately by the client via RDMA read/write.
+func (ph *serverNode) handle(p *sim.Proc, m *netsim.Msg) netsim.Reply {
+	p.Sleep(ph.pool.cfg.ServerOpLatency)
+	switch m.Op {
+	case "set":
+		req := m.Payload.(*bbSetReq)
+		ph.setOps++
+		if _, err := ph.engine.Set(memcached.Item{Key: req.key, Size: int(req.size)}); err != nil {
+			return netsim.Reply{Size: 32, Err: err}
+		}
+		return netsim.Reply{Size: 32}
+	case "get":
+		req := m.Payload.(string)
+		ph.getOps++
+		it, err := ph.engine.Get(req)
+		if err != nil {
+			return netsim.Reply{Size: 32, Err: err}
+		}
+		return netsim.Reply{Size: 32, Payload: int64(it.Size)}
+	case "delete":
+		req := m.Payload.(string)
+		err := ph.engine.Delete(req)
+		return netsim.Reply{Size: 32, Err: err}
+	default:
+		return netsim.Reply{Err: fmt.Errorf("core: unknown bb op %q", m.Op)}
+	}
+}
+
+// BufferServer is one instance's share of a physical buffer server: its
+// byte budget there plus all flush/eviction state for the blocks the
+// instance keeps on that node. The default instance's shares span full
+// server memory, making them indistinguishable from the pre-instance
+// single-tenant servers.
+type BufferServer struct {
+	fs   *Instance
+	phys *serverNode
+	// index/name mirror the physical server's (ring keys, spawn names).
+	index int
+	name  string
+	// limit is the share's byte budget; the writer-stall watermark applies
+	// to it (budget = limit × HighWatermark).
+	limit int64
 
 	// bytes is the payload currently resident (dirty+flushing+clean).
 	bytes int64
@@ -45,38 +112,44 @@ type BufferServer struct {
 	deferred []*bbBlock
 	// cleanLRU orders clean blocks for explicit eviction (head = oldest).
 	cleanLRU []*bbBlock
-	// resident is the set of blocks whose payload lives on this server.
+	// resident is the set of blocks whose payload lives on this share.
 	resident map[*bbBlock]struct{}
 	// flushing counts blocks currently being copied to Lustre.
 	flushing int
 	// flushProgress fires whenever a flush completes, releasing writers
 	// stalled on a full buffer.
 	flushProgress *sim.Event
-
-	setOps, getOps int64
 }
 
-func newBufferServer(fs *BurstFS, index int) *BufferServer {
+func newBufferServer(inst *Instance, ph *serverNode, limit int64) *BufferServer {
 	s := &BufferServer{
-		fs:    fs,
-		index: index,
-		name:  fmt.Sprintf("bbsrv%d", index),
-		node:  fs.net.AddNode(),
-		engine: memcached.NewEngine(memcached.Config{
-			MemLimit:    fs.cfg.ServerMemory,
-			MaxItemSize: int(fs.cfg.ItemChunk) + 512,
-			Clock:       func() int64 { return int64(fs.cl.Env.Now()) },
-		}),
+		fs:            inst,
+		phys:          ph,
+		index:         ph.index,
+		name:          ph.name,
+		limit:         limit,
 		dirtyQueue:    sim.NewStore[*bbBlock](),
 		resident:      make(map[*bbBlock]struct{}),
 		flushProgress: &sim.Event{},
 	}
-	s.ingest = sim.NewPipe(s.name+".ingest", fs.cfg.ServerIngestRate)
-	if fs.cfg.coalescing() {
-		s.sched = newFlushScheduler(s, fs.cfg.FlushBatchBlocks)
+	if inst.cfg.coalescing() {
+		s.sched = newFlushScheduler(s, inst.cfg.FlushBatchBlocks)
 	}
-	fs.net.Register(s.node, bbService, s.handle)
 	return s
+}
+
+// Phys returns the share's physical server name (reports).
+func (s *BufferServer) Phys() string { return s.phys.name }
+
+// residentByID returns the share's resident blocks sorted by block ID —
+// the deterministic iteration order teardown paths need.
+func (s *BufferServer) residentByID() []*bbBlock {
+	out := make([]*bbBlock, 0, len(s.resident))
+	for b := range s.resident {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
 }
 
 // enqueueDirty hands a dirty block to the flusher pool. urgent marks
@@ -110,66 +183,27 @@ func (s *BufferServer) dirtyBacklog() int {
 	return s.dirtyQueue.Len()
 }
 
-// handle serves the control-plane side of buffer operations. Payload
-// transfers are charged separately by the client via RDMA read/write.
-func (s *BufferServer) handle(p *sim.Proc, m *netsim.Msg) netsim.Reply {
-	p.Sleep(s.fs.cfg.ServerOpLatency)
-	switch m.Op {
-	case "set":
-		req := m.Payload.(*bbSetReq)
-		s.setOps++
-		if _, err := s.engine.Set(memcached.Item{Key: req.key, Size: int(req.size)}); err != nil {
-			return netsim.Reply{Size: 32, Err: err}
-		}
-		return netsim.Reply{Size: 32}
-	case "get":
-		req := m.Payload.(string)
-		s.getOps++
-		it, err := s.engine.Get(req)
-		if err != nil {
-			return netsim.Reply{Size: 32, Err: err}
-		}
-		return netsim.Reply{Size: 32, Payload: int64(it.Size)}
-	case "delete":
-		req := m.Payload.(string)
-		err := s.engine.Delete(req)
-		return netsim.Reply{Size: 32, Err: err}
-	default:
-		return netsim.Reply{Err: fmt.Errorf("core: unknown bb op %q", m.Op)}
-	}
-}
-
 type bbSetReq struct {
 	key  string
 	size int64
-}
-
-// itemKeys returns the chunked item keys of a block.
-func (fs *BurstFS) itemKeys(b *bbBlock) []string {
-	n := int((b.size + fs.cfg.ItemChunk - 1) / fs.cfg.ItemChunk)
-	keys := make([]string, n)
-	for i := range keys {
-		keys[i] = fmt.Sprintf("%s#%d", b.key, i)
-	}
-	return keys
 }
 
 // setChunk stores one chunk: the payload moves via one-sided RDMA write,
 // then a small control RPC inserts the virtual item.
 func (s *BufferServer) setChunk(p *sim.Proc, client netsim.NodeID, key string, size int64) error {
 	if s.fs.cfg.FlowStreaming {
-		if err := s.fs.net.RDMAWriteFlow(p, client, s.node, size); err != nil {
+		if err := s.fs.net.RDMAWriteFlow(p, client, s.phys.node, size); err != nil {
 			return err
 		}
-		s.ingest.TransferFlat(p, size)
+		s.phys.ingest.TransferFlat(p, size)
 	} else {
-		if err := s.fs.net.RDMAWrite(p, client, s.node, size); err != nil {
+		if err := s.fs.net.RDMAWrite(p, client, s.phys.node, size); err != nil {
 			return err
 		}
-		s.ingest.Transfer(p, size)
+		s.phys.ingest.Transfer(p, size)
 	}
 	rep := s.fs.net.Call(p, &netsim.Msg{
-		From: client, To: s.node, Service: bbService, Op: "set",
+		From: client, To: s.phys.node, Service: bbService, Op: "set",
 		Size: 64, Payload: &bbSetReq{key: key, size: size},
 	})
 	return rep.Err
@@ -179,7 +213,7 @@ func (s *BufferServer) setChunk(p *sim.Proc, client netsim.NodeID, key string, s
 // the payload moves via one-sided RDMA read.
 func (s *BufferServer) getChunk(p *sim.Proc, client netsim.NodeID, key string) (int64, error) {
 	rep := s.fs.net.Call(p, &netsim.Msg{
-		From: client, To: s.node, Service: bbService, Op: "get",
+		From: client, To: s.phys.node, Service: bbService, Op: "get",
 		Size: 64, Payload: key,
 	})
 	if rep.Err != nil {
@@ -187,12 +221,12 @@ func (s *BufferServer) getChunk(p *sim.Proc, client netsim.NodeID, key string) (
 	}
 	size := rep.Payload.(int64)
 	if s.fs.cfg.FlowStreaming {
-		if err := s.fs.net.RDMAReadFlow(p, client, s.node, size); err != nil {
+		if err := s.fs.net.RDMAReadFlow(p, client, s.phys.node, size); err != nil {
 			return 0, err
 		}
 		return size, nil
 	}
-	if err := s.fs.net.RDMARead(p, client, s.node, size); err != nil {
+	if err := s.fs.net.RDMARead(p, client, s.phys.node, size); err != nil {
 		return 0, err
 	}
 	return size, nil
@@ -204,7 +238,7 @@ func (s *BufferServer) getChunk(p *sim.Proc, client netsim.NodeID, key string) (
 // on its existing control traffic.
 func (s *BufferServer) deleteBlock(b *bbBlock) {
 	for _, k := range s.fs.itemKeys(b) {
-		_ = s.engine.Delete(k)
+		_ = s.phys.engine.Delete(k)
 	}
 	s.bytes -= b.size
 	if s.bytes < 0 {
@@ -231,7 +265,7 @@ func (b *bbBlock) onServer(s *BufferServer) bool {
 
 // budget returns the writer-stall threshold in bytes.
 func (s *BufferServer) budget() int64 {
-	return int64(float64(s.fs.cfg.ServerMemory) * s.fs.cfg.HighWatermark)
+	return int64(float64(s.limit) * s.fs.cfg.HighWatermark)
 }
 
 // ensureSpace blocks the writer until size more bytes fit under the
@@ -240,7 +274,7 @@ func (s *BufferServer) budget() int64 {
 // evicted.
 func (s *BufferServer) ensureSpace(p *sim.Proc, size int64) error {
 	for s.bytes+size > s.budget() {
-		if s.failed {
+		if s.phys.failed {
 			return netsim.ErrNodeDown
 		}
 		if len(s.cleanLRU) > 0 {

@@ -14,8 +14,8 @@ import (
 const maxBlockRetries = 3
 
 // Create implements dfs.FileSystem.
-func (fs *BurstFS) Create(p *sim.Proc, client netsim.NodeID, path string) (dfs.Writer, error) {
-	if rep := fs.callMgr(p, client, "create", path); rep.Err != nil {
+func (fs *Instance) Create(p *sim.Proc, client netsim.NodeID, path string) (dfs.Writer, error) {
+	if rep := fs.callMgr(p, client, "create", fs.pathReq(path)); rep.Err != nil {
 		return nil, rep.Err
 	}
 	return &bbWriter{fs: fs, client: client, path: path}, nil
@@ -26,7 +26,7 @@ func (fs *BurstFS) Create(p *sim.Proc, client netsim.NodeID, path string) (dfs.W
 // each block. The writer owns the tee machinery and the flush dispatch; it
 // knows nothing about individual schemes.
 type bbWriter struct {
-	fs     *BurstFS
+	fs     *Instance
 	client netsim.NodeID
 	path   string
 
@@ -64,7 +64,7 @@ func (t *blockTee) finish(p *sim.Proc) error {
 // blocks), asks the policy for the block's plan, and opens the planned
 // side channels.
 func (w *bbWriter) openBlock(p *sim.Proc) error {
-	rep := w.fs.callMgr(p, w.client, "addBlock", &mgrAddBlockReq{path: w.path, client: w.client})
+	rep := w.fs.callMgr(p, w.client, "addBlock", &mgrAddBlockReq{inst: w.fs, path: w.path, client: w.client})
 	if rep.Err != nil {
 		return rep.Err
 	}
@@ -124,7 +124,7 @@ func (w *bbWriter) startLustreTee(p *sim.Proc) {
 	fs := w.fs
 	tee := &blockTee{in: sim.NewBounded[int64](fs.cfg.PrefetchWindow), done: &sim.Event{}}
 	w.lustreTee = tee
-	srvNode := b.primary().node
+	srvNode := b.primary().phys.node
 	fs.cl.Env.Spawn(fmt.Sprintf("bb.synctee.b%d", b.id), func(q *sim.Proc) {
 		defer tee.done.Trigger()
 		path := fs.blockLustrePath(b)
@@ -250,19 +250,19 @@ func (w *bbWriter) streamBytes(p *sim.Proc, m int64) error {
 	for m > 0 {
 		c := min64(m, fs.cfg.ItemChunk-w.itemFill)
 		for _, s := range b.srvs {
-			if s.failed {
+			if s.phys.failed {
 				return netsim.ErrNodeDown
 			}
 			if fs.cfg.FlowStreaming {
-				if err := fs.net.RDMAWriteFlow(p, w.client, s.node, c); err != nil {
+				if err := fs.net.RDMAWriteFlow(p, w.client, s.phys.node, c); err != nil {
 					return err
 				}
-				s.ingest.TransferFlat(p, c)
+				s.phys.ingest.TransferFlat(p, c)
 			} else {
-				if err := fs.net.RDMAWrite(p, w.client, s.node, c); err != nil {
+				if err := fs.net.RDMAWrite(p, w.client, s.phys.node, c); err != nil {
 					return err
 				}
-				s.ingest.Transfer(p, c)
+				s.phys.ingest.Transfer(p, c)
 			}
 		}
 		w.itemFill += c
@@ -292,7 +292,7 @@ func (w *bbWriter) issueItem(p *sim.Proc) error {
 	key := fmt.Sprintf("%s#%d", b.key, idx)
 	for _, s := range b.srvs {
 		rep := w.fs.net.Call(p, &netsim.Msg{
-			From: w.client, To: s.node, Service: bbService, Op: "set",
+			From: w.client, To: s.phys.node, Service: bbService, Op: "set",
 			Size: 64, Payload: &bbSetReq{key: key, size: w.itemFill},
 		})
 		if rep.Err != nil {
@@ -322,7 +322,7 @@ func (w *bbWriter) cleanupTees(p *sim.Proc) {
 	// Release the block reservations on the failed attempt's servers
 	// (already zeroed where a crash reset the server).
 	for _, s := range b.srvs {
-		if s.failed {
+		if s.phys.failed {
 			continue
 		}
 		s.bytes -= w.fs.cfg.BlockSize
@@ -427,5 +427,5 @@ func (w *bbWriter) Close(p *sim.Proc) error {
 			return err
 		}
 	}
-	return w.fs.callMgr(p, w.client, "complete", w.path).Err
+	return w.fs.callMgr(p, w.client, "complete", w.fs.pathReq(w.path)).Err
 }

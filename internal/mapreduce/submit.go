@@ -1,0 +1,49 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"hbb/internal/cluster"
+	"hbb/internal/sim"
+)
+
+// Submission is a handle to a concurrently running job started with
+// Submit. Unlike Run, the submitting process does not block: several
+// submissions can contend for cluster slots, buffer bricks, and Lustre
+// bandwidth at once, which is how multi-tenant experiments model a busy
+// cluster.
+type Submission struct {
+	// Job is the submitted description (as passed to Submit).
+	Job Job
+	// ID is the cluster-unique job number (cluster.NextJobID).
+	ID   int
+	done *sim.Event
+	res  Result
+	err  error
+}
+
+// Submit starts the job in its own simulation process and returns
+// immediately. The job's driver process is named "mr.<name>.<id>"; the ID
+// comes from the cluster's job counter, so two submissions in the same
+// event-loop step still get distinct, deterministic identities.
+func Submit(cl *cluster.Cluster, job Job) *Submission {
+	sub := &Submission{Job: job, ID: cl.NextJobID(), done: &sim.Event{}}
+	name := job.Name
+	if name == "" {
+		name = "job"
+	}
+	cl.Env.Spawn(fmt.Sprintf("mr.%s.%d", name, sub.ID), func(p *sim.Proc) {
+		sub.res, sub.err = Run(p, cl, sub.Job)
+		sub.done.Trigger()
+	})
+	return sub
+}
+
+// Wait blocks until the job finishes and returns its result.
+func (s *Submission) Wait(p *sim.Proc) (Result, error) {
+	s.done.Wait(p)
+	return s.res, s.err
+}
+
+// Done reports whether the job has finished (non-blocking).
+func (s *Submission) Done() bool { return s.done.Triggered() }

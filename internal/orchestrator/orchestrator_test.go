@@ -1,0 +1,305 @@
+package orchestrator
+
+import (
+	"testing"
+	"time"
+
+	"hbb/internal/cluster"
+	"hbb/internal/core"
+	"hbb/internal/lustre"
+	"hbb/internal/netsim"
+	"hbb/internal/sim"
+)
+
+// rig is a pool small enough to reason about placement by hand: two
+// buffer servers with 4 GiB each and 1 GiB bricks — an 8-brick inventory.
+type rig struct {
+	c    *cluster.Cluster
+	l    *lustre.Lustre
+	pool *core.BurstFS
+}
+
+func newRig() *rig {
+	c := cluster.New(cluster.Config{
+		Nodes:     4,
+		Transport: netsim.RDMA,
+		Hardware:  cluster.HardwareSpec{RAMDiskCapacity: 2 << 30},
+		Seed:      7,
+	})
+	l := lustre.New(c, lustre.Config{OSTs: 2, StripeCount: 2})
+	pool := core.New(c, l, core.Config{
+		Servers: 2, ServerMemory: 4 << 30, BlockSize: 16 << 20, Flushers: 1,
+	})
+	pool.Start()
+	return &rig{c: c, l: l, pool: pool}
+}
+
+func (r *rig) run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	r.c.Env.Spawn("driver", func(p *sim.Proc) {
+		defer r.pool.Shutdown()
+		fn(p)
+	})
+	r.c.Env.Run()
+	if dl := r.c.Env.Deadlocked(); len(dl) != 0 {
+		t.Fatalf("deadlocked: %v", dl)
+	}
+}
+
+func TestSubmitRejectsImpossibleRequests(t *testing.T) {
+	r := newRig()
+	s := New(r.c, r.pool, FCFS)
+	r.run(t, func(p *sim.Proc) {
+		if a := s.Submit(Request{Name: "none", Bricks: 0}); a.Err() == nil {
+			t.Error("zero-brick request accepted")
+		}
+		if a := s.Submit(Request{Name: "huge", Bricks: 9}); a.Err() == nil {
+			t.Error("request larger than the pool accepted")
+		}
+		// A failed allocation is terminal: both events fire immediately.
+		a := s.Submit(Request{Name: "big", Bricks: 99})
+		if err := a.Await(p); err == nil {
+			t.Error("Await on a failed allocation returned nil")
+		}
+		a.AwaitFreed(p)
+		if s.QueueLen() != 0 {
+			t.Errorf("failed requests left %d entries queued", s.QueueLen())
+		}
+	})
+}
+
+func TestStripedPlacementSpreadsBricks(t *testing.T) {
+	r := newRig()
+	s := New(r.c, r.pool, FCFS)
+	r.run(t, func(p *sim.Proc) {
+		a := s.Submit(Request{Name: "wide", Bricks: 5, Mode: Striped})
+		if err := a.Await(p); err != nil {
+			t.Fatal(err)
+		}
+		free := r.pool.FreeBricksPerServer()
+		// 5 bricks over two servers: [3,2] (lower index takes the remainder).
+		if free[0] != 1 || free[1] != 2 {
+			t.Errorf("free after striped 5-brick grant = %v, want [1 2]", free)
+		}
+		s.Release(a)
+		a.AwaitFreed(p)
+		if got := r.pool.FreeBricks(); got != 8 {
+			t.Errorf("free bricks after release = %d, want 8", got)
+		}
+	})
+}
+
+func TestPrivatePlacementPacksOneServer(t *testing.T) {
+	r := newRig()
+	s := New(r.c, r.pool, FCFS)
+	r.run(t, func(p *sim.Proc) {
+		a := s.Submit(Request{Name: "packed", Bricks: 3, Mode: Private})
+		if err := a.Await(p); err != nil {
+			t.Fatal(err)
+		}
+		free := r.pool.FreeBricksPerServer()
+		if free[0] != 1 || free[1] != 4 {
+			t.Errorf("free after private 3-brick grant = %v, want [1 4]", free)
+		}
+		s.Release(a)
+		a.AwaitFreed(p)
+	})
+}
+
+func TestFCFSBlocksBehindQueueHead(t *testing.T) {
+	r := newRig()
+	s := New(r.c, r.pool, FCFS)
+	r.run(t, func(p *sim.Proc) {
+		big := s.Submit(Request{Name: "big", Bricks: 5})
+		blocked := s.Submit(Request{Name: "blocked", Bricks: 4})
+		small := s.Submit(Request{Name: "small", Bricks: 2})
+		if err := big.Await(p); err != nil {
+			t.Fatal(err)
+		}
+		// Three bricks are free and "small" would fit, but FCFS refuses to
+		// pass the blocked 4-brick head.
+		if small.FS() != nil {
+			t.Error("FCFS placed a request behind a blocked queue head")
+		}
+		if s.QueueLen() != 2 {
+			t.Errorf("queue length = %d, want 2", s.QueueLen())
+		}
+		s.Release(big)
+		blocked.Await(p)
+		small.Await(p)
+		for _, a := range []*Allocation{blocked, small} {
+			s.Release(a)
+			a.AwaitFreed(p)
+		}
+		if got := r.pool.FreeBricks(); got != 8 {
+			t.Errorf("free bricks at end = %d, want 8", got)
+		}
+	})
+}
+
+func TestBackfillJumpsBlockedHead(t *testing.T) {
+	r := newRig()
+	s := New(r.c, r.pool, Backfill)
+	r.run(t, func(p *sim.Proc) {
+		big := s.Submit(Request{Name: "big", Bricks: 5})
+		blocked := s.Submit(Request{Name: "blocked", Bricks: 4})
+		small := s.Submit(Request{Name: "small", Bricks: 2})
+		if err := big.Await(p); err != nil {
+			t.Fatal(err)
+		}
+		if err := small.Await(p); err != nil {
+			t.Fatalf("backfill did not place the small request: %v", err)
+		}
+		if blocked.FS() != nil {
+			t.Error("4-brick request placed with only 1 brick free")
+		}
+		if small.Times.QueueWait() != 0 {
+			t.Errorf("backfilled request waited %v, want 0", small.Times.QueueWait())
+		}
+		s.Release(small)
+		s.Release(big)
+		if err := blocked.Await(p); err != nil {
+			t.Fatal(err)
+		}
+		s.Release(blocked)
+		for _, a := range []*Allocation{big, small, blocked} {
+			a.AwaitFreed(p)
+		}
+	})
+}
+
+func TestStageInThenJobThenStageOut(t *testing.T) {
+	r := newRig()
+	s := New(r.c, r.pool, FCFS)
+	r.run(t, func(p *sim.Proc) {
+		// Source data on Lustre: 48 MiB = 3 blocks of 16 MiB.
+		w, err := r.l.Create(p, 0, "/src/data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Write(p, 48<<20)
+		if err := w.Close(p); err != nil {
+			t.Fatal(err)
+		}
+		a := s.Submit(Request{
+			Name: "job", Bricks: 2, Client: 0,
+			StageIn: []StagePair{{Src: "/src/data", Dst: "/in/data"}},
+		})
+		if err := a.Await(p); err != nil {
+			t.Fatal(err)
+		}
+		if a.StagedBlocks() != 3 {
+			t.Errorf("staged %d blocks, want 3", a.StagedBlocks())
+		}
+		if a.Times.Ready <= a.Times.Placed {
+			t.Error("stage-in charged no time between placed and ready")
+		}
+		inst := a.FS()
+		rd, err := inst.Open(p, 1, "/in/data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := rd.Read(p, 48<<20)
+		if err != nil || n != 48<<20 {
+			t.Fatalf("read staged file: n=%d err=%v", n, err)
+		}
+		rd.Close(p)
+		// Job output dirties the instance; Release must drain it to Lustre
+		// before the bricks come back.
+		ww, err := inst.Create(p, 1, "/out/data")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ww.Write(p, 32<<20)
+		if err := ww.Close(p); err != nil {
+			t.Fatal(err)
+		}
+		s.Release(a)
+		a.AwaitFreed(p)
+		if a.Times.Freed < a.Times.Released {
+			t.Error("stage-out finished before it began")
+		}
+		if got := r.pool.FreeBricks(); got != 8 {
+			t.Errorf("free bricks after stage-out = %d, want 8", got)
+		}
+		// The drained output (blocks 4 and 5; 1-3 are the staged imports) is
+		// durable on Lustre.
+		for _, blk := range []string{"/.bb/blk-4", "/.bb/blk-5"} {
+			if _, err := r.l.Stat(p, 0, blk); err != nil {
+				t.Errorf("flushed output block %s not on Lustre: %v", blk, err)
+			}
+		}
+	})
+}
+
+func TestPersistentAllocationSurvivesRelease(t *testing.T) {
+	r := newRig()
+	s := New(r.c, r.pool, FCFS)
+	r.run(t, func(p *sim.Proc) {
+		a := s.Submit(Request{Name: "campaign", Bricks: 4, Persistent: true})
+		if err := a.Await(p); err != nil {
+			t.Fatal(err)
+		}
+		w, err := a.FS().Create(p, 0, "/keep")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Write(p, 16<<20)
+		if err := w.Close(p); err != nil {
+			t.Fatal(err)
+		}
+		s.Release(a)
+		a.AwaitFreed(p)
+		// Bricks stay granted and the buffered file remains readable.
+		if got := r.pool.FreeBricks(); got != 4 {
+			t.Errorf("free bricks after persistent release = %d, want 4", got)
+		}
+		rd, err := a.FS().Open(p, 1, "/keep")
+		if err != nil {
+			t.Fatalf("persistent instance lost its file: %v", err)
+		}
+		rd.Close(p)
+		s.Free(a)
+		p.Sleep(time.Second)
+		if got := r.pool.FreeBricks(); got != 8 {
+			t.Errorf("free bricks after Free = %d, want 8", got)
+		}
+	})
+}
+
+func TestReleaseWakesQueuedRequest(t *testing.T) {
+	r := newRig()
+	s := New(r.c, r.pool, FCFS)
+	r.run(t, func(p *sim.Proc) {
+		first := s.Submit(Request{Name: "first", Bricks: 8})
+		second := s.Submit(Request{Name: "second", Bricks: 8})
+		if err := first.Await(p); err != nil {
+			t.Fatal(err)
+		}
+		if second.FS() != nil {
+			t.Fatal("second full-pool request placed while first holds everything")
+		}
+		p.Sleep(10 * time.Millisecond)
+		s.Release(first)
+		if err := second.Await(p); err != nil {
+			t.Fatal(err)
+		}
+		if second.Times.QueueWait() <= 0 {
+			t.Error("second request recorded no queue wait")
+		}
+		s.Release(second)
+		second.AwaitFreed(p)
+	})
+}
+
+func TestParseSchedPolicy(t *testing.T) {
+	for name, want := range map[string]SchedPolicy{"": FCFS, "fcfs": FCFS, "backfill": Backfill} {
+		got, err := ParseSchedPolicy(name)
+		if err != nil || got != want {
+			t.Errorf("ParseSchedPolicy(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseSchedPolicy("sjf"); err == nil {
+		t.Error("ParseSchedPolicy accepted an unknown policy")
+	}
+}
