@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test vet race bench bench-smoke bench-kernel bench-dataplane bench-netsim bench-orchestration golden stress repro tools clean
+.PHONY: all test vet race bench bench-smoke bench-kernel bench-dataplane bench-netsim bench-orchestration bench-fleet golden stress repro tools clean
 
 all: test
 
@@ -16,12 +16,15 @@ race:
 	go test -race ./...
 
 # Full micro-benchmark suite with allocation stats, summarized to
-# BENCH_6.json (buffer-instance orchestration PR: the Tab7 experiment and
-# MultiJobContention's fcfs vs backfill makespans are the headline
-# metrics).
+# BENCH_7.json (fleet-mode PR: FleetDFSIO10k is the headline — a 10k-node,
+# million-file replicated-write sweep on the rack-sharded kernel, with
+# events/op and MB-of-heap/node; SetDownAbort pins the affected-links-only
+# failure re-solve). The 10k smoke runs at -benchtime 1x via bench-fleet;
+# this target excludes it to keep the full-suite wall time bounded.
 bench: tools
-	go test -run '^$$' -bench . -benchmem ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
-	./bin/benchjson -out BENCH_6.json -note "host: $$(nproc) CPU core(s); buffer-instance orchestration PR — Tab7Orchestration regenerates the multi-job table and MultiJobContention reports the four-job fcfs vs backfill makespans (queue-wait vs makespan trade-off); single-tenant goldens and benchmarks must match BENCH_5" < bench.out
+	go test -run '^$$' -bench . -benchmem -skip 'FleetDFSIO10k' ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	go test -run '^$$' -bench 'FleetDFSIO10k' -benchtime 1x . >> bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	./bin/benchjson -out BENCH_7.json -note "host: $$(nproc) CPU core(s); fleet-mode PR — FleetDFSIO10k sweeps 10k nodes x 100 files on the sharded kernel (events/op, MB-heap/node, wall-s), FleetShardSpeedup compares shards=1 vs 4 wall-clock, Tab8FleetScaling regenerates the scaling table, SetDownAbort pins failure re-solve cost; everything else must match BENCH_6" < bench.out
 	rm -f bench.out
 
 # One-iteration benchmark pass: proves every benchmark still compiles and
@@ -48,6 +51,13 @@ bench-netsim:
 # the four-job contention makespan comparison (FCFS vs backfill).
 bench-orchestration:
 	go test -run '^$$' -bench 'Tab7|MultiJobContention' -benchmem .
+
+# Fleet-mode scaling: regenerate the tab8 table and run the 10k-node,
+# million-file DFSIO smoke once (-benchtime 1x), plus the shards=1 vs 4
+# wall-clock comparison and the node-failure abort benchmark.
+bench-fleet:
+	go test -run '^$$' -bench 'Tab8FleetScaling|FleetDFSIO10k|FleetShardSpeedup' -benchmem -benchtime 1x -timeout 20m .
+	go test -run '^$$' -bench 'SetDownAbort' -benchmem ./internal/netsim/
 
 # Golden determinism suite: seed schemes, flow streaming, coalescing, and
 # the multi-job orchestration fingerprint must match their recorded values.

@@ -318,3 +318,48 @@ func BenchmarkExperimentsSerial(b *testing.B) { benchExperimentSet(b, 1) }
 // BenchmarkExperimentsParallel runs the same bundle with 4 workers; cells
 // are independent seeded simulations, so only wall time changes.
 func BenchmarkExperimentsParallel(b *testing.B) { benchExperimentSet(b, 4) }
+
+// BenchmarkTab8FleetScaling regenerates the fleet-mode scaling table at
+// small scale (the full 10k-node sweep runs via `make bench-fleet`).
+func BenchmarkTab8FleetScaling(b *testing.B) { benchExperiment(b, "tab8") }
+
+// fleetDFSIOOnce runs one fleet DFSIO-write cell and reports the
+// simulator-scaling metrics alongside the timing.
+func fleetDFSIOOnce(b *testing.B, nodes, shards, filesPerNode int, fileSize int64) FleetResult {
+	fb, err := NewFleet(Options{Nodes: nodes, RacksOf: 20, Seed: 1, SimShards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fb.DFSIOWrite(filesPerNode, fileSize)
+}
+
+// BenchmarkFleetDFSIO10k is the 10,000-node smoke: a million replicated
+// file writes over 500 racks on a 4-way-sharded kernel. Run with
+// -benchtime 1x (`make bench-fleet`); each iteration is one full sweep.
+func BenchmarkFleetDFSIO10k(b *testing.B) {
+	var r FleetResult
+	for i := 0; i < b.N; i++ {
+		r = fleetDFSIOOnce(b, 10000, 4, 100, 8<<20)
+	}
+	b.ReportMetric(r.EventsPerOp, "events/op")
+	b.ReportMetric(r.HeapMBPerNode, "MB-heap/node")
+	b.ReportMetric(r.Wall.Seconds(), "wall-s")
+	b.ReportMetric(float64(r.Ops), "files")
+}
+
+// BenchmarkFleetShardSpeedup runs the same 1000-node sweep on one heap
+// and on a 4-way-sharded kernel so benchstat shows the multi-core win
+// (the traces are identical; only wall-clock differs).
+func BenchmarkFleetShardSpeedup(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var r FleetResult
+			for i := 0; i < b.N; i++ {
+				r = fleetDFSIOOnce(b, 1000, shards, 20, 8<<20)
+			}
+			b.ReportMetric(r.EventsPerOp, "events/op")
+			b.ReportMetric(r.HeapMBPerNode, "MB-heap/node")
+		})
+	}
+}

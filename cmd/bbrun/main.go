@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "dfsio-write", "dfsio-write | dfsio-read | randomwriter | sort | scan")
+		workload = flag.String("workload", "dfsio-write", "dfsio-write | dfsio-read | randomwriter | sort | scan (with -fleet: dfsio-write | stress)")
 		backend  = flag.String("backend", "bb-async", "storage backend: "+strings.Join(hbb.BackendNames(), " | "))
 		nodes    = flag.Int("nodes", 8, "compute nodes")
 		files    = flag.Int("files", 0, "files/maps (default: 4 per node)")
@@ -29,6 +29,9 @@ func main() {
 		hardware = flag.String("hardware", "hpc-local", "hpc-local | diskless")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		flow     = flag.Bool("flow", false, "bulk transfers ride the netsim flow fast path")
+		fleet    = flag.Bool("fleet", false, "fleet mode: memory-lean flow-only nodes on a rack-sharded kernel (workloads: dfsio-write, stress)")
+		shards   = flag.Int("shards", 1, "fleet mode: DES event-heap shards (racks partitioned round-robin)")
+		racksOf  = flag.Int("racks-of", 20, "fleet mode: nodes per rack")
 		brickGiB = flag.Int("bb-brick-gib", 1, "burst-buffer capacity granule in GiB (orchestrated allocations are whole bricks)")
 		bbSched  = flag.String("bb-sched", "fcfs", "buffer orchestrator queue discipline: fcfs | backfill")
 		trace    = flag.String("trace", "", "write a per-operation FS trace to this file")
@@ -49,6 +52,10 @@ func main() {
 		}
 	}()
 
+	if *fleet {
+		runFleet(*workload, *nodes, *racksOf, *shards, *files, *sizeMB, *seed, hbb.Transport(*transp))
+		return
+	}
 	b, err := hbb.ParseBackend(*backend)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bbrun:", err)
@@ -147,6 +154,42 @@ func main() {
 			net.Counter("net.flow.aborts").Value(),
 			net.Histogram("net.flows.active"))
 	})
+}
+
+// runFleet executes a fleet-mode workload: a DFSIO-style replicated
+// write sweep or the mixed-traffic stress, on the sharded kernel.
+func runFleet(workload string, nodes, racksOf, shards, files int, sizeMB, seed int64, transport hbb.Transport) {
+	fb, err := hbb.NewFleet(hbb.Options{
+		Nodes:     nodes,
+		RacksOf:   racksOf,
+		Transport: transport,
+		Seed:      seed,
+		SimShards: shards,
+		FleetMode: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbrun:", err)
+		os.Exit(1)
+	}
+	if files == 0 {
+		files = 4
+	}
+	var res hbb.FleetResult
+	switch workload {
+	case "dfsio-write":
+		res = fb.DFSIOWrite(files, sizeMB<<20)
+	case "stress":
+		res = fb.Stress(files)
+	default:
+		fmt.Fprintf(os.Stderr, "bbrun: fleet mode supports dfsio-write | stress, not %q\n", workload)
+		os.Exit(2)
+	}
+	fmt.Printf("fleet: nodes=%d racks=%d shards=%d ops=%d moved=%.1fGiB\n",
+		res.Nodes, res.Racks, res.Shards, res.Ops, float64(res.Bytes)/(1<<30))
+	fmt.Printf("virtual=%.3fs wall=%.3fs events=%d (%.1f/op) windows=%d cross-shard-msgs=%d\n",
+		res.Elapsed.Seconds(), res.Wall.Seconds(), res.Events, res.EventsPerOp,
+		res.Windows, res.Messages)
+	fmt.Printf("heap=%.3f MB/node fingerprint=%016x\n", res.HeapMBPerNode, res.Fingerprint)
 }
 
 func report(err error, format string, args ...any) {

@@ -71,6 +71,8 @@ func Experiments() []Experiment {
 			"coalescing adjacent dirty blocks into one Lustre object per run cuts drain time and metadata ops; block readahead overlaps fetch with streaming reads", tab6},
 		{"tab7", "Multi-job buffer orchestration: FCFS vs backfill",
 			"buffer instances carved from a shared brick pool let jobs run concurrently; backfill trades the blocked head job's queue wait for pool utilization and makespan, and stage-out overlaps the next tenant's compute", tab7},
+		{"tab8", "Fleet-mode scaling: sharded kernel at datacenter node counts",
+			"memory-lean flow-only nodes and a rack-sharded conservative DES keep a 10k-node DFSIO sweep within minutes and MBs/node, with a shard-count-invariant trace", tab8},
 	}
 }
 
@@ -1151,6 +1153,54 @@ func tab4(scale Scale) *metrics.Table {
 	for i, cfg := range cfgs {
 		r := results[i]
 		t.AddRow(cfg.label, r.writeMBps, r.lost, r.coldMBps, r.warmMBps)
+	}
+	return t
+}
+
+// fleetShardsOverride pins tab8's shard axis to one value when positive
+// (cmd/bbench's -shards flag); zero keeps the default {1, N} comparison.
+var fleetShardsOverride int
+
+// SetFleetShards overrides the shard counts tab8 sweeps.
+func SetFleetShards(n int) { fleetShardsOverride = n }
+
+// tab8 is the fleet-mode scaling table (ROADMAP item 2): a DFSIO-style
+// replicated-write sweep over datacenter node counts, each run at one
+// event heap and at a rack-sharded kernel, reporting the simulator's own
+// scaling figures — wall-clock, events per file, retained MB of heap per
+// node — plus the trace fingerprint demonstrating shard-count
+// invariance. Cells run serially: each one uses every core via in-window
+// shard workers, and the heap figure needs the host to itself.
+func tab8(scale Scale) *metrics.Table {
+	nodesAxis := []int{100, 1000, 10000}
+	shardsAxis := []int{1, 4}
+	filesPerNode, fileSize := 100, int64(8<<20)
+	if scale == ScaleSmall {
+		nodesAxis = []int{100, 400}
+		shardsAxis = []int{1, 2}
+		filesPerNode, fileSize = 4, int64(1<<20)
+	}
+	if fleetShardsOverride > 0 {
+		shardsAxis = []int{fleetShardsOverride}
+	}
+	const racksOf = 20
+	t := metrics.NewTable(fmt.Sprintf("tab8: fleet-mode scaling, %d files/node x %d MiB, racks of %d",
+		filesPerNode, fileSize>>20, racksOf),
+		"nodes", "racks", "shards", "files", "virt(s)", "wall(s)",
+		"events/op", "MB-heap/node", "windows", "fingerprint")
+	for _, nodes := range nodesAxis {
+		for _, shards := range shardsAxis {
+			fb, err := NewFleet(Options{Nodes: nodes, RacksOf: racksOf,
+				Seed: 1, SimShards: shards})
+			if err != nil {
+				panic(err)
+			}
+			r := fb.DFSIOWrite(filesPerNode, fileSize)
+			t.AddRow(r.Nodes, r.Racks, r.Shards, r.Ops,
+				float64(r.Elapsed)/1e9, float64(r.Wall)/1e9,
+				r.EventsPerOp, fmt.Sprintf("%.3f", r.HeapMBPerNode), r.Windows,
+				fmt.Sprintf("%016x", r.Fingerprint))
+		}
 	}
 	return t
 }

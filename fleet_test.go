@@ -1,0 +1,89 @@
+package hbb
+
+import (
+	"runtime"
+	"testing"
+)
+
+func fleetStressFingerprint(t *testing.T, shards, workers int) FleetResult {
+	t.Helper()
+	fb, err := NewFleet(Options{Nodes: 48, RacksOf: 8, Seed: 42, SimShards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb.SetWorkers(workers)
+	return fb.Stress(8)
+}
+
+// TestFleetCrossShardStress is the kitchen-sink determinism check: mixed
+// pipeline/buffer/stripe/shuffle traffic spanning six racks must produce
+// the identical event-trace fingerprint whether the racks share one event
+// heap or are spread over four, and regardless of worker count or
+// GOMAXPROCS. It runs under -race via `make stress`.
+func TestFleetCrossShardStress(t *testing.T) {
+	base := fleetStressFingerprint(t, 1, 1)
+	if base.Ops != 48*8 || base.Bytes == 0 || base.Events == 0 {
+		t.Fatalf("degenerate baseline: %+v", base)
+	}
+	for _, tc := range []struct{ shards, workers int }{
+		{1, 8}, {4, 1}, {4, 8}, {6, 8},
+	} {
+		got := fleetStressFingerprint(t, tc.shards, tc.workers)
+		if got.Fingerprint != base.Fingerprint {
+			t.Errorf("shards=%d workers=%d fingerprint %x, want %x",
+				tc.shards, tc.workers, got.Fingerprint, base.Fingerprint)
+		}
+		if got.Elapsed != base.Elapsed {
+			t.Errorf("shards=%d workers=%d elapsed %v, want %v",
+				tc.shards, tc.workers, got.Elapsed, base.Elapsed)
+		}
+		if got.Bytes != base.Bytes {
+			t.Errorf("shards=%d workers=%d bytes %d, want %d",
+				tc.shards, tc.workers, got.Bytes, base.Bytes)
+		}
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serial := fleetStressFingerprint(t, 4, 8)
+	runtime.GOMAXPROCS(prev)
+	if serial.Fingerprint != base.Fingerprint {
+		t.Errorf("GOMAXPROCS=1 fingerprint %x, want %x", serial.Fingerprint, base.Fingerprint)
+	}
+}
+
+func TestFleetDFSIOWriteDeterminism(t *testing.T) {
+	run := func(shards, workers int) FleetResult {
+		fb, err := NewFleet(Options{Nodes: 60, RacksOf: 10, Seed: 7, SimShards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb.SetWorkers(workers)
+		return fb.DFSIOWrite(4, 2<<20)
+	}
+	base := run(1, 1)
+	if base.Ops != 240 || base.Bytes != 240*2*(2<<20) {
+		t.Fatalf("unexpected volume: ops=%d bytes=%d", base.Ops, base.Bytes)
+	}
+	for _, tc := range []struct{ shards, workers int }{{4, 4}, {6, 8}} {
+		got := run(tc.shards, tc.workers)
+		if got.Fingerprint != base.Fingerprint || got.Elapsed != base.Elapsed {
+			t.Errorf("shards=%d workers=%d (fp %x, elapsed %v), want (fp %x, elapsed %v)",
+				tc.shards, tc.workers, got.Fingerprint, got.Elapsed, base.Fingerprint, base.Elapsed)
+		}
+	}
+}
+
+func TestFleetOptionsValidation(t *testing.T) {
+	if _, err := NewFleet(Options{Nodes: 100, RacksOf: 16}); err == nil {
+		t.Error("non-divisible Nodes/RacksOf accepted")
+	}
+	fb, err := NewFleet(Options{Nodes: 4, RacksOf: 16, SimShards: 1})
+	if err != nil {
+		t.Fatalf("small fleet (one partial rack clamped): %v", err)
+	}
+	if fb.Cluster().Nodes() != 4 {
+		t.Errorf("nodes = %d, want 4", fb.Cluster().Nodes())
+	}
+	if _, err := NewFleet(Options{Nodes: 40, RacksOf: 10, SimShards: 9}); err == nil {
+		t.Error("shards > racks accepted")
+	}
+}

@@ -270,6 +270,17 @@ type Options struct {
 	// of per-packet event trains. Off by default; results shift slightly
 	// because flow-level modelling amortizes per-packet software overhead.
 	FlowStreaming bool
+	// FleetMode selects the datacenter-scale flow-only testbed built by
+	// NewFleet: memory-lean nodes, rack topology, no backend stacks.
+	// Testbed constructors ignore it; it exists so CLI front-ends can
+	// carry the mode choice in one Options value.
+	FleetMode bool
+	// SimShards partitions a fleet's racks across this many DES event
+	// heaps, advanced in conservative lookahead windows on multiple
+	// cores. Any value yields the identical event trace; more shards buy
+	// wall-clock speed on multi-core hosts. Zero defaults to 1 (a single
+	// heap, the reference trace). Ignored outside fleet mode.
+	SimShards int
 	// Trace, when non-nil, logs every file-system operation of every
 	// backend (virtual timestamp, duration, node, op, outcome) to the
 	// writer — a debugging aid for workload authors.

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"runtime"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -143,5 +144,31 @@ func TestTableUntitled(t *testing.T) {
 	tbl.AddRow(1)
 	if strings.Contains(tbl.String(), "==") {
 		t.Error("untitled table rendered a title")
+	}
+}
+
+func TestHeapSnapshot(t *testing.T) {
+	before := SnapHeap()
+	block := make([]byte, 32<<20)
+	for i := range block {
+		block[i] = byte(i) // touch every page so the allocation is real
+	}
+	after := SnapHeap()
+	if got := after.DeltaMB(before); got < 30 || got > 40 {
+		t.Errorf("DeltaMB = %.1f, want ~32 for a 32 MiB retained block", got)
+	}
+	if got := after.DeltaMBPerNode(before, 32); got < 30.0/32 || got > 40.0/32 {
+		t.Errorf("DeltaMBPerNode = %.3f, want ~1", got)
+	}
+	if got := after.DeltaMBPerNode(before, 0); got != 0 {
+		t.Errorf("DeltaMBPerNode with zero nodes = %v, want 0", got)
+	}
+	runtime.KeepAlive(block)
+	shrunk := SnapHeap() // block now dead; heap may fall below `after`
+	if got := shrunk.DeltaMB(after); got < 0 {
+		t.Errorf("DeltaMB went negative: %v", got)
+	}
+	if before.DeltaMB(after) != 0 {
+		t.Error("DeltaMB against a larger baseline must clamp to 0")
 	}
 }

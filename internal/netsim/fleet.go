@@ -1,0 +1,419 @@
+package netsim
+
+// Fleet is the datacenter-scale, memory-lean sibling of Network: a
+// rack-structured topology whose nodes carry only what the max-min flow
+// solver needs. Where a Network iface owns two to four sim.Pipes (chunk
+// trains, name strings) plus lazily-built flowLinks behind a pointer, a
+// fleet node is two inline fleetLink records — roughly 64 bytes — so a
+// 10,000-node topology costs megabytes of heap, not gigabytes. There are
+// no packet pipes, no per-node service tables, and the solver scratch is
+// one per-rack slice shared across all of the rack's interfaces.
+//
+// The fleet is also the unit of kernel sharding: racks are partitioned
+// across a sim.ShardGroup (round-robin), each rack's flow state is owned
+// exclusively by its shard, and all cross-rack traffic is carried by
+// cross-shard messages at window barriers — even when the two racks
+// happen to share a shard, so the event trace is independent of the
+// shard count.
+//
+// Bandwidth model: each node has full-duplex NIC links (egress, ingress)
+// at the profile bandwidth, and each rack has an uplink and a downlink
+// to a non-blocking core at UplinkBandwidth. An intra-rack transfer is
+// one flow over (src.egress, dst.ingress). A cross-rack transfer is
+// store-and-forward at the core: phase one drains (src.egress,
+// rack.uplink) in the source rack, a message carries the handoff one
+// CrossRackLatency later to the destination shard, phase two drains
+// (rack.downlink, dst.ingress), and a completion ack travels back to
+// wake the writer. Each rack solves max-min fairness over its own links
+// only — the decoupling that keeps racks independent between barriers.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"hbb/internal/sim"
+)
+
+// FleetTopology describes a rack-structured fleet.
+type FleetTopology struct {
+	Racks        int
+	NodesPerRack int
+	// Profile supplies the per-node NIC bandwidth and intra-rack latency.
+	Profile Profile
+	// CrossRackLatency is the one-way rack-to-rack propagation latency;
+	// it is also the shard group's synchronization lookahead, so it must
+	// be positive.
+	CrossRackLatency time.Duration
+	// UplinkBandwidth is each rack's uplink (and downlink) capacity in
+	// bytes/sec.
+	UplinkBandwidth float64
+	// Shards is the number of kernel shards racks are partitioned across
+	// (default 1; must not exceed Racks).
+	Shards int
+	// Seed feeds the shard environments' random streams.
+	Seed int64
+}
+
+// Validate reports the first configuration error, so a bad 10k-node spec
+// fails fast instead of mis-sharding.
+func (t FleetTopology) Validate() error {
+	if t.Racks < 1 {
+		return fmt.Errorf("netsim: fleet needs at least 1 rack, got %d", t.Racks)
+	}
+	if t.NodesPerRack < 1 {
+		return fmt.Errorf("netsim: fleet needs at least 1 node per rack, got %d", t.NodesPerRack)
+	}
+	if t.CrossRackLatency <= 0 {
+		return fmt.Errorf("netsim: fleet cross-rack latency must be positive, got %v", t.CrossRackLatency)
+	}
+	if t.Profile.Bandwidth <= 0 {
+		return fmt.Errorf("netsim: fleet NIC bandwidth must be positive, got %g", t.Profile.Bandwidth)
+	}
+	if t.UplinkBandwidth <= 0 {
+		return fmt.Errorf("netsim: fleet uplink bandwidth must be positive, got %g", t.UplinkBandwidth)
+	}
+	if t.Shards < 1 {
+		return fmt.Errorf("netsim: fleet needs at least 1 shard, got %d", t.Shards)
+	}
+	if t.Shards > t.Racks {
+		return fmt.Errorf("netsim: %d shards exceed %d racks", t.Shards, t.Racks)
+	}
+	return nil
+}
+
+// fleetLink is one direction of one NIC or rack trunk as seen by the
+// per-rack flow solver; remCap/nflows are water-filling scratch, valid
+// only while gen matches the rack's current solve generation.
+type fleetLink struct {
+	cap    float64
+	gen    uint64
+	remCap float64
+	nflows int
+}
+
+// fleetNode is a fleet member's entire network state.
+type fleetNode struct {
+	eg fleetLink
+	in fleetLink
+}
+
+// fleetFlow is one draining transfer leg inside a rack.
+type fleetFlow struct {
+	rack      *fleetRack
+	a, b      *fleetLink
+	remaining float64
+	rate      float64
+	prevRate  float64
+	lastUpd   int64
+	frozen    bool
+	timer     sim.Timer
+	timerSet  bool
+	finishFn  func()
+	done      func()
+}
+
+// fleetRack owns one rack's nodes, trunk links, flow set, and solver
+// scratch. Exactly one shard ever touches a rack, so none of this needs
+// locking even when windows execute concurrently.
+type fleetRack struct {
+	fl    *Fleet
+	id    int
+	shard int
+	env   *sim.Env
+	nodes []fleetNode
+	up    fleetLink
+	down  fleetLink
+
+	flows   []*fleetFlow
+	scratch []*fleetLink
+	gen     uint64
+	pool    []*fleetFlow
+	seq     uint64 // cross-shard send ordering counter
+
+	sent     int64
+	recv     int64
+	started  int64
+	resolves int64
+}
+
+func (r *fleetRack) nextSeq() uint64 {
+	r.seq++
+	return r.seq
+}
+
+// Fleet is the memory-lean rack-sharded fabric.
+type Fleet struct {
+	topo  FleetTopology
+	group *sim.ShardGroup
+	racks []*fleetRack
+}
+
+// NewFleet builds a fleet from a validated topology.
+func NewFleet(topo FleetTopology) (*Fleet, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	fl := &Fleet{
+		topo:  topo,
+		group: sim.NewShardGroup(topo.Shards, topo.CrossRackLatency, topo.Seed),
+		racks: make([]*fleetRack, topo.Racks),
+	}
+	for i := range fl.racks {
+		r := &fleetRack{fl: fl, id: i, shard: i % topo.Shards}
+		r.env = fl.group.Shard(r.shard)
+		r.nodes = make([]fleetNode, topo.NodesPerRack)
+		for n := range r.nodes {
+			r.nodes[n].eg.cap = topo.Profile.Bandwidth
+			r.nodes[n].in.cap = topo.Profile.Bandwidth
+		}
+		r.up.cap = topo.UplinkBandwidth
+		r.down.cap = topo.UplinkBandwidth
+		fl.racks[i] = r
+	}
+	return fl, nil
+}
+
+// Topology returns the fleet's topology.
+func (fl *Fleet) Topology() FleetTopology { return fl.topo }
+
+// Group returns the shard group driving the fleet. Call its Run after
+// spawning workload processes on the shard environments.
+func (fl *Fleet) Group() *sim.ShardGroup { return fl.group }
+
+// Nodes returns the total node count.
+func (fl *Fleet) Nodes() int { return fl.topo.Racks * fl.topo.NodesPerRack }
+
+// Racks returns the rack count.
+func (fl *Fleet) Racks() int { return fl.topo.Racks }
+
+// RackOf returns the rack a node belongs to.
+func (fl *Fleet) RackOf(node int) int { return node / fl.topo.NodesPerRack }
+
+// ShardOf returns the shard that owns a node's rack.
+func (fl *Fleet) ShardOf(node int) int { return fl.racks[fl.RackOf(node)].shard }
+
+// Env returns the shard environment owning a node's rack; processes that
+// call Transfer from this node must be spawned on it.
+func (fl *Fleet) Env(node int) *sim.Env { return fl.racks[fl.RackOf(node)].env }
+
+func (fl *Fleet) checkNode(node int) (*fleetRack, int) {
+	if node < 0 || node >= fl.Nodes() {
+		panic(fmt.Sprintf("netsim: unknown fleet node %d", node))
+	}
+	r := fl.racks[node/fl.topo.NodesPerRack]
+	return r, node % fl.topo.NodesPerRack
+}
+
+// ErrFleetShard reports a Transfer issued from the wrong shard.
+var ErrFleetShard = errors.New("netsim: transfer issued off the source node's shard")
+
+// Transfer moves n payload bytes from src to dst, blocking the calling
+// process until the last byte lands. The caller must be running on src's
+// shard environment. Loopback is free, like Network's packet path.
+func (fl *Fleet) Transfer(p *sim.Proc, src, dst int, n int64) error {
+	sr, si := fl.checkNode(src)
+	dr, di := fl.checkNode(dst)
+	if p.Env() != sr.env {
+		return fmt.Errorf("%w: node %d lives on shard %d", ErrFleetShard, src, sr.shard)
+	}
+	if n <= 0 || src == dst {
+		return nil
+	}
+	now := int64(p.Now())
+	sr.sent += n
+	var sig sim.Signal
+	if sr == dr {
+		dr.recv += n
+		sr.startFlow(now, &sr.nodes[si].eg, &dr.nodes[di].in, n, sig.Fire)
+		sig.Wait(p)
+		p.Sleep(fl.topo.Profile.Latency)
+		return nil
+	}
+	lat := fl.topo.CrossRackLatency
+	sr.startFlow(now, &sr.nodes[si].eg, &sr.up, n, func() {
+		// Hand the payload to the destination rack one cross-rack
+		// latency later. This always rides the shard group — even when
+		// both racks share a shard — so delivery order is identical at
+		// any shard count.
+		fl.group.Send(sr.shard, dr.shard, sr.env.Now()+lat, uint64(sr.id), sr.nextSeq(), func() {
+			dr.recv += n
+			dr.startFlow(int64(dr.env.Now()), &dr.down, &dr.nodes[di].in, n, func() {
+				// Completion ack back to the writer's shard.
+				fl.group.Send(dr.shard, sr.shard, dr.env.Now()+lat, uint64(dr.id), dr.nextSeq(), sig.Fire)
+			})
+		})
+	})
+	sig.Wait(p)
+	return nil
+}
+
+// startFlow begins draining n bytes across two of the rack's links and
+// arranges for done to run (on the rack's shard) when the last byte
+// lands. It must run on the rack's shard.
+func (r *fleetRack) startFlow(now int64, a, b *fleetLink, n int64, done func()) {
+	var f *fleetFlow
+	if k := len(r.pool) - 1; k >= 0 {
+		f = r.pool[k]
+		r.pool[k] = nil
+		r.pool = r.pool[:k]
+	} else {
+		f = &fleetFlow{rack: r}
+		f.finishFn = f.finish
+	}
+	f.a, f.b = a, b
+	f.remaining = float64(n)
+	f.rate = 0
+	f.prevRate = 0
+	f.lastUpd = now
+	f.timerSet = false
+	f.done = done
+	r.flows = append(r.flows, f)
+	r.started++
+	r.resolve(now)
+}
+
+// advance books the bytes transmitted since the last accounting.
+func (f *fleetFlow) advance(now int64) {
+	if dt := now - f.lastUpd; dt > 0 && f.rate > 0 {
+		f.remaining -= f.rate * float64(dt) / 1e9
+		if f.remaining < 0 {
+			f.remaining = 0
+		}
+	}
+	f.lastUpd = now
+}
+
+// rearm replaces the completion timer to match the current rate.
+func (f *fleetFlow) rearm(now int64) {
+	if f.timerSet {
+		f.rack.env.Cancel(f.timer)
+		f.timerSet = false
+	}
+	if f.rate <= 0 {
+		return
+	}
+	ns := math.Ceil(f.remaining / f.rate * 1e9)
+	f.timer = f.rack.env.At(time.Duration(now)+time.Duration(ns), f.finishFn)
+	f.timerSet = true
+}
+
+// finish runs as a callback timer when the flow's last byte drains.
+func (f *fleetFlow) finish() {
+	f.timerSet = false
+	r := f.rack
+	now := int64(r.env.Now())
+	for i, g := range r.flows {
+		if g == f {
+			r.flows = append(r.flows[:i], r.flows[i+1:]...)
+			break
+		}
+	}
+	r.resolve(now)
+	done := f.done
+	f.done = nil
+	r.pool = append(r.pool, f)
+	done()
+}
+
+// resolve recomputes the rack's max-min fair shares by water filling —
+// the same algorithm as Network.resolveFlows, over the rack's own links
+// only. Gen-stamped scratch means idle links cost nothing; the scratch
+// slice is shared across every interface in the rack.
+func (r *fleetRack) resolve(now int64) {
+	r.resolves++
+	if len(r.flows) == 0 {
+		return
+	}
+	r.gen++
+	gen := r.gen
+	r.scratch = r.scratch[:0]
+	for _, f := range r.flows {
+		f.advance(now)
+		f.prevRate = f.rate
+		f.frozen = false
+		for _, l := range [2]*fleetLink{f.a, f.b} {
+			if l.gen != gen {
+				l.gen = gen
+				l.remCap = l.cap
+				l.nflows = 0
+				r.scratch = append(r.scratch, l)
+			}
+			l.nflows++
+		}
+	}
+	unfrozen := len(r.flows)
+	for unfrozen > 0 {
+		var bottleneck *fleetLink
+		share := math.Inf(1)
+		for _, l := range r.scratch {
+			if l.nflows == 0 {
+				continue
+			}
+			// Strict < keeps ties on the earliest link in arrival order —
+			// deterministic across runs and shard counts.
+			if s := l.remCap / float64(l.nflows); s < share {
+				share, bottleneck = s, l
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		for _, f := range r.flows {
+			if f.frozen || (f.a != bottleneck && f.b != bottleneck) {
+				continue
+			}
+			f.frozen = true
+			f.rate = share
+			unfrozen--
+			for _, l := range [2]*fleetLink{f.a, f.b} {
+				l.remCap -= share
+				if l.remCap < 0 {
+					l.remCap = 0
+				}
+				l.nflows--
+			}
+		}
+	}
+	for _, f := range r.flows {
+		if f.timerSet && f.rate == f.prevRate {
+			continue
+		}
+		f.rearm(now)
+	}
+}
+
+// FleetStats aggregates per-rack counters; read it after Group().Run()
+// returns (racks are only mutated by their shards mid-run).
+type FleetStats struct {
+	BytesSent     int64
+	BytesReceived int64
+	Flows         int64
+	Resolves      int64
+	Windows       int64
+	Messages      int64
+	Events        int64
+}
+
+// Stats sums the per-rack counters and the shard group's window/event
+// totals.
+func (fl *Fleet) Stats() FleetStats {
+	var s FleetStats
+	for _, r := range fl.racks {
+		s.BytesSent += r.sent
+		s.BytesReceived += r.recv
+		s.Flows += r.started
+		s.Resolves += r.resolves
+	}
+	s.Windows = fl.group.Windows()
+	s.Messages = fl.group.Messages()
+	s.Events = fl.group.Events()
+	return s
+}
+
+// RackTraffic returns cumulative sent/received payload bytes for a rack.
+func (fl *Fleet) RackTraffic(rack int) (sent, recv int64) {
+	r := fl.racks[rack]
+	return r.sent, r.recv
+}

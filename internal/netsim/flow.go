@@ -36,6 +36,9 @@ type flowLink struct {
 	gen    uint64
 	remCap float64
 	nflows int
+	// abortGen marks links touched by the current abortFlows sweep so the
+	// survivor scan can test membership without allocating a set.
+	abortGen uint64
 }
 
 func (f *iface) flowLinks(prof Profile, legacy bool) (eg, in *flowLink) {
@@ -286,16 +289,25 @@ func (nw *Network) resolveFlows(now int64) {
 
 // abortFlows fails every draining flow touching node id: bytes already
 // transmitted stay delivered, the blocked writer wakes with ErrNodeDown,
-// and the survivors are re-solved at the failure instant.
+// and any survivors sharing capacity with the casualties are re-solved at
+// the failure instant. Survivors on disjoint links keep their rates and
+// armed timers untouched: max-min shares decompose over connected
+// components of the flow/link graph, so a failure in one component cannot
+// change shares in another. At fleet scale this turns a node failure from
+// an O(all flows x all links) re-solve into work proportional to the
+// failed node's own traffic.
 func (nw *Network) abortFlows(id NodeID) {
 	if len(nw.flows) == 0 {
 		return
 	}
 	now := int64(nw.env.Now())
+	nw.abortGen++
 	var hit []*Flow
 	for _, f := range nw.flows {
 		if f.src == id || f.dst == id {
 			hit = append(hit, f)
+			f.eg.abortGen = nw.abortGen
+			f.in.abortGen = nw.abortGen
 		}
 	}
 	if len(hit) == 0 {
@@ -312,7 +324,20 @@ func (nw *Network) abortFlows(id NodeID) {
 		nw.deactivate(f)
 		nw.flowAborts.Inc()
 	}
-	nw.resolveFlows(now)
+	// One shared link is enough to force a re-solve: freed capacity can
+	// cascade through transitively shared links, so a partial re-solve of
+	// "directly affected" flows alone would be wrong. Disjointness of ALL
+	// survivors is the only safe skip.
+	affected := false
+	for _, f := range nw.flows {
+		if f.eg.abortGen == nw.abortGen || f.in.abortGen == nw.abortGen {
+			affected = true
+			break
+		}
+	}
+	if affected || len(nw.flows) == 0 {
+		nw.resolveFlows(now)
+	}
 	for _, f := range hit {
 		f.drained.Fire()
 	}

@@ -228,6 +228,100 @@ func TestFlowLoopbackIsFree(t *testing.T) {
 	}
 }
 
+func TestAbortSkipsDisjointSurvivors(t *testing.T) {
+	// A node failure must not re-solve (or perturb) flows on disjoint
+	// links: the survivor keeps its armed timer and finishes at the exact
+	// lone-flow closed form, and no extra solver pass runs.
+	e := sim.New(1)
+	nw := New(e, RDMA, 4)
+	var survivorEnd time.Duration
+	e.Spawn("victim", func(p *sim.Proc) {
+		f, _ := nw.StartFlow(0, 1)
+		f.Write(p, 1<<30)
+	})
+	e.Spawn("survivor", func(p *sim.Proc) {
+		f, _ := nw.StartFlow(2, 3)
+		if err := f.Write(p, 6_000_000); err != nil { // 1 ms at 6 GB/s
+			t.Errorf("survivor write: %v", err)
+		}
+		survivorEnd = p.Now()
+	})
+	e.Spawn("killer", func(p *sim.Proc) {
+		p.Sleep(10 * time.Microsecond)
+		nw.SetDown(1, true)
+	})
+	e.Run()
+	want := time.Millisecond + RDMA.Latency
+	if d := survivorEnd - want; d < -time.Nanosecond || d > time.Nanosecond {
+		t.Errorf("disjoint survivor finished at %v, want %v", survivorEnd, want)
+	}
+	// Two Write arrivals + the survivor's completion; the abort itself
+	// must not add a pass.
+	if got := nw.Metrics().Counter("net.flow.resolves").Value(); got != 3 {
+		t.Errorf("net.flow.resolves = %d, want 3 (abort must skip disjoint survivors)", got)
+	}
+}
+
+func TestAbortResolvesSharingSurvivors(t *testing.T) {
+	// When a survivor shares a link with an aborted flow it must be
+	// re-solved at the failure instant: here both flows leave node 0, so
+	// killing flow A's receiver promotes flow B from half to full rate.
+	e := sim.New(1)
+	nw := New(e, RDMA, 3)
+	const n = 6_000_000 // 1 ms alone, 2 ms at half share
+	var survivorEnd time.Duration
+	e.Spawn("victim", func(p *sim.Proc) {
+		f, _ := nw.StartFlow(0, 1)
+		f.Write(p, 1<<30)
+	})
+	e.Spawn("survivor", func(p *sim.Proc) {
+		f, _ := nw.StartFlow(0, 2)
+		if err := f.Write(p, n); err != nil {
+			t.Errorf("survivor write: %v", err)
+		}
+		survivorEnd = p.Now()
+	})
+	killAt := 400 * time.Microsecond
+	e.Spawn("killer", func(p *sim.Proc) {
+		p.Sleep(killAt)
+		nw.SetDown(1, true)
+	})
+	e.Run()
+	// Half rate for 400 µs drains 1.2 MB; the remaining 4.8 MB at full
+	// rate takes 800 µs: completion at 1.2 ms + latency.
+	want := 1200*time.Microsecond + RDMA.Latency
+	if d := survivorEnd - want; d < -2*time.Nanosecond || d > 2*time.Nanosecond {
+		t.Errorf("sharing survivor finished at %v, want %v", survivorEnd, want)
+	}
+}
+
+// BenchmarkSetDownAbort pins the cost of a node failure in a fabric full
+// of draining flows whose links are disjoint from the casualty: the abort
+// must touch only the failed node's own flow, not re-solve the fabric.
+func BenchmarkSetDownAbort(b *testing.B) {
+	const pairs = 128
+	for i := 0; i < b.N; i++ {
+		e := sim.New(1)
+		nw := New(e, RDMA, 2*pairs)
+		for j := 0; j < pairs; j++ {
+			j := j
+			e.Spawn(fmt.Sprintf("f%d", j), func(p *sim.Proc) {
+				f, _ := nw.StartFlow(NodeID(2*j), NodeID(2*j+1))
+				f.Write(p, 4<<20)
+				f.Close(p)
+			})
+		}
+		e.Spawn("killer", func(p *sim.Proc) {
+			p.Sleep(10 * time.Microsecond)
+			nw.SetDown(1, true)
+		})
+		e.Run()
+		if i == 0 {
+			b.ReportMetric(float64(nw.Metrics().Counter("net.flow.resolves").Value()), "resolves/run")
+		}
+	}
+}
+
 func TestTransferFlowMatchesSendSemantics(t *testing.T) {
 	// The one-shot wrapper must refuse downed endpoints exactly like
 	// Send, and must not charge receive overhead on loopback.

@@ -80,6 +80,11 @@ type Reply struct {
 type Handler func(p *sim.Proc, m *Msg) Reply
 
 type iface struct {
+	id NodeID
+	// Packet-train pipes, materialized on first packet-mode use. Flow-mode
+	// traffic never touches them, so a node that only ever rides the flow
+	// solver carries no pipe state — the difference between MBs and GBs of
+	// heap on a 10k-node topology.
 	egress  *sim.Pipe
 	ingress *sim.Pipe
 	// legacy pipes model a socket-based transport (IPoIB/TCP) sharing the
@@ -115,6 +120,7 @@ type Network struct {
 	flows       []*Flow
 	linkScratch []*flowLink
 	solveGen    uint64
+	abortGen    uint64
 	flowBulk    bool
 	// flowPool recycles one-shot wrapper flows (see putFlow).
 	flowPool []*Flow
@@ -166,18 +172,12 @@ func (nw *Network) Profile() Profile { return nw.prof }
 // Nodes returns the number of nodes on the fabric.
 func (nw *Network) Nodes() int { return len(nw.ifaces) }
 
-// AddNode attaches a new node and returns its ID.
+// AddNode attaches a new node and returns its ID. The node starts as pure
+// bookkeeping (~one cache line); pipes and flow-link records materialize
+// lazily on first use, so idle or flow-only nodes stay memory-lean.
 func (nw *Network) AddNode() NodeID {
 	id := NodeID(len(nw.ifaces))
-	f := &iface{
-		egress:  sim.NewPipe(fmt.Sprintf("node%d.egress", id), nw.prof.Bandwidth),
-		ingress: sim.NewPipe(fmt.Sprintf("node%d.ingress", id), nw.prof.Bandwidth),
-	}
-	if nw.legacy != nil {
-		f.legEgress = sim.NewPipe(fmt.Sprintf("node%d.leg-egress", id), nw.legacy.Bandwidth)
-		f.legIngress = sim.NewPipe(fmt.Sprintf("node%d.leg-ingress", id), nw.legacy.Bandwidth)
-	}
-	nw.ifaces = append(nw.ifaces, f)
+	nw.ifaces = append(nw.ifaces, &iface{id: id})
 	return id
 }
 
@@ -231,9 +231,21 @@ func (nw *Network) chooseTransport(legacy bool) Profile {
 	return nw.prof
 }
 
-func (f *iface) pipes(legacy bool) (eg, in *sim.Pipe) {
-	if legacy && f.legEgress != nil {
+// pipes returns the packet-train pipes for one transport, creating them
+// on first use. Pipe construction is pure state (no kernel registration),
+// so lazy creation is invisible to the simulation: the names and
+// bandwidths match what eager construction produced.
+func (f *iface) pipes(nw *Network, legacy bool) (eg, in *sim.Pipe) {
+	if legacy && nw.legacy != nil {
+		if f.legEgress == nil {
+			f.legEgress = sim.NewPipe(fmt.Sprintf("node%d.leg-egress", f.id), nw.legacy.Bandwidth)
+			f.legIngress = sim.NewPipe(fmt.Sprintf("node%d.leg-ingress", f.id), nw.legacy.Bandwidth)
+		}
 		return f.legEgress, f.legIngress
+	}
+	if f.egress == nil {
+		f.egress = sim.NewPipe(fmt.Sprintf("node%d.egress", f.id), nw.prof.Bandwidth)
+		f.ingress = sim.NewPipe(fmt.Sprintf("node%d.ingress", f.id), nw.prof.Bandwidth)
 	}
 	return f.egress, f.ingress
 }
@@ -251,8 +263,8 @@ func (nw *Network) transferVia(p *sim.Proc, src, dst NodeID, n int64, legacy boo
 		return
 	}
 	prof := nw.chooseTransport(legacy)
-	e, _ := nw.ifaces[src].pipes(legacy && nw.legacy != nil)
-	_, in := nw.ifaces[dst].pipes(legacy && nw.legacy != nil)
+	e, _ := nw.ifaces[src].pipes(nw, legacy)
+	_, in := nw.ifaces[dst].pipes(nw, legacy)
 	nw.ifaces[src].sent += n
 	nw.ifaces[dst].recv += n
 	nw.bytesMoved(legacy).Add(n)

@@ -1,0 +1,300 @@
+package sim
+
+// Conservative parallel DES: a ShardGroup partitions a simulation into
+// per-shard Envs (one event heap each) and advances them in lock-step
+// time windows. The window protocol is the classic conservative
+// ("null-message-free barrier") scheme:
+//
+//	tmin    = min over shards of the next pending event time
+//	horizon = tmin + lookahead
+//
+// where lookahead is the minimum cross-shard propagation latency: a
+// message sent from a shard at local time s is delivered no earlier than
+// s + lookahead >= tmin + lookahead = horizon. Every shard can therefore
+// run its events in [tmin, horizon) without ever receiving a message
+// that lands inside the window, so shards execute windows concurrently
+// with no rollback and no locks on simulation state.
+//
+// Determinism is stronger than "no data races": the event trace is
+// identical for any shard count and any worker count, because
+//
+//   - cross-shard messages are buffered in per-sender outboxes and
+//     injected only at window barriers, sorted by (delivery time, sender
+//     key, sender sequence) — an order derived purely from sender-local
+//     state, not from shard placement or goroutine timing;
+//   - tmin is a global property of the union of all heaps, so the window
+//     sequence itself is independent of how ranks are partitioned;
+//   - shards share no mutable state between barriers (the caller's
+//     contract: per-shard domains are disjoint and all cross-domain
+//     interaction goes through Send, even when two domains happen to be
+//     placed on the same shard).
+//
+// A single-shard group runs the exact same barrier protocol, which is
+// what makes the shards=1 trace the reference for shards=K.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// crossMsg is one buffered cross-shard delivery.
+type crossMsg struct {
+	at  int64  // delivery time, virtual ns
+	key uint64 // sender domain (e.g. rack id) — first tie-break
+	seq uint64 // per-key monotone counter — second tie-break
+	dst int
+	fn  func()
+}
+
+// ShardGroup coordinates a set of shard Envs under conservative
+// time-window synchronization.
+type ShardGroup struct {
+	shards    []*Env
+	lookahead int64
+	workers   int
+
+	// outbox[i] is appended only by shard i's scheduler goroutine during
+	// a window and drained only by the coordinator between windows, so it
+	// needs no lock.
+	outbox  [][]crossMsg
+	pending []crossMsg
+	active  []int
+	fails   []any
+	sem     chan struct{}
+
+	windows  int64
+	messages int64
+	running  bool
+}
+
+// NewShardGroup creates n shard environments coordinated with the given
+// lookahead (the minimum cross-shard delivery latency; every Send must
+// respect it). Shard i's random stream is seeded seed+i; workloads that
+// must be shard-count-invariant should keep their own per-domain RNGs
+// instead of using Env.Rand.
+func NewShardGroup(n int, lookahead time.Duration, seed int64) *ShardGroup {
+	if n < 1 {
+		panic("sim: ShardGroup needs at least one shard")
+	}
+	if lookahead <= 0 {
+		panic("sim: ShardGroup lookahead must be positive")
+	}
+	g := &ShardGroup{
+		shards:    make([]*Env, n),
+		lookahead: int64(lookahead),
+		workers:   1,
+		outbox:    make([][]crossMsg, n),
+		fails:     make([]any, n),
+	}
+	for i := range g.shards {
+		g.shards[i] = New(seed + int64(i))
+	}
+	return g
+}
+
+// Shards returns the shard count.
+func (g *ShardGroup) Shards() int { return len(g.shards) }
+
+// Shard returns shard i's environment. Processes and timers for a
+// domain must all live on its owning shard.
+func (g *ShardGroup) Shard(i int) *Env { return g.shards[i] }
+
+// Lookahead returns the group's synchronization lookahead.
+func (g *ShardGroup) Lookahead() time.Duration { return time.Duration(g.lookahead) }
+
+// SetWorkers bounds how many shards execute concurrently inside a
+// window (default 1, i.e. serial). Any value yields the identical event
+// trace; more workers only buy wall-clock time on multi-core hosts.
+func (g *ShardGroup) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	g.workers = n
+	g.sem = nil
+}
+
+// Windows returns how many synchronization windows have run.
+func (g *ShardGroup) Windows() int64 { return g.windows }
+
+// Messages returns how many cross-shard messages have been delivered.
+func (g *ShardGroup) Messages() int64 { return g.messages }
+
+// Events returns the total events dispatched across all shards.
+func (g *ShardGroup) Events() int64 {
+	var n int64
+	for _, e := range g.shards {
+		n += e.Events()
+	}
+	return n
+}
+
+// Now returns the maximum virtual time reached across shards.
+func (g *ShardGroup) Now() time.Duration {
+	var max time.Duration
+	for _, e := range g.shards {
+		if n := e.Now(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Send schedules fn to run on shard dst at virtual time at. It must be
+// called from code executing on shard src (a process or callback timer),
+// and at must be at least src's current time plus the lookahead — the
+// conservative contract that lets windows run without rollback. key and
+// seq order same-instant deliveries: key identifies the sending domain,
+// seq is a counter the sender increments per message, so the pair is
+// unique and shard-placement-independent.
+func (g *ShardGroup) Send(src, dst int, at time.Duration, key, seq uint64, fn func()) {
+	if fn == nil {
+		panic("sim: ShardGroup.Send with nil callback")
+	}
+	e := g.shards[src]
+	if int64(at) < e.now+g.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard send at %v from shard %d (now %v) violates lookahead %v",
+			at, src, e.Now(), time.Duration(g.lookahead)))
+	}
+	g.outbox[src] = append(g.outbox[src], crossMsg{at: int64(at), key: key, seq: seq, dst: dst, fn: fn})
+}
+
+// Run drives every shard until all heaps and outboxes drain, then
+// returns the final virtual time (the maximum across shards). Like
+// Env.Run it re-raises the first process panic.
+func (g *ShardGroup) Run() time.Duration {
+	if g.running {
+		panic("sim: ShardGroup.Run called re-entrantly")
+	}
+	g.running = true
+	defer func() {
+		g.running = false
+		for _, e := range g.shards {
+			e.releasePool()
+		}
+	}()
+	for {
+		// Barrier: gather every message produced in the last window.
+		for i := range g.outbox {
+			g.pending = append(g.pending, g.outbox[i]...)
+			g.outbox[i] = g.outbox[i][:0]
+		}
+		tmin := int64(math.MaxInt64)
+		for _, e := range g.shards {
+			if e.q.Len() > 0 && e.q.minTime() < tmin {
+				tmin = e.q.minTime()
+			}
+		}
+		for i := range g.pending {
+			if g.pending[i].at < tmin {
+				tmin = g.pending[i].at
+			}
+		}
+		if tmin == math.MaxInt64 {
+			break // fully drained
+		}
+		// Inject the buffered messages in a shard-count-invariant order.
+		// Every delivery time is at or beyond the previous horizon, so
+		// none of these can land in a window that already ran.
+		sort.Slice(g.pending, func(a, b int) bool {
+			x, y := &g.pending[a], &g.pending[b]
+			if x.at != y.at {
+				return x.at < y.at
+			}
+			if x.key != y.key {
+				return x.key < y.key
+			}
+			return x.seq < y.seq
+		})
+		for i := range g.pending {
+			m := &g.pending[i]
+			g.shards[m.dst].At(time.Duration(m.at), m.fn)
+			g.pending[i].fn = nil
+		}
+		g.messages += int64(len(g.pending))
+		g.pending = g.pending[:0]
+		// Run the window [tmin, horizon) on every shard with work in it.
+		horizon := tmin + g.lookahead
+		g.active = g.active[:0]
+		for i, e := range g.shards {
+			if e.q.Len() > 0 && e.q.minTime() < horizon {
+				g.active = append(g.active, i)
+			}
+		}
+		g.windows++
+		g.runShards(horizon - 1)
+	}
+	return g.Now()
+}
+
+// runShards executes the active shards up to and including limit,
+// serially in shard order or on up to g.workers goroutines. Shard
+// domains are disjoint, so concurrent windows touch no shared state;
+// panics are collected and the lowest-shard one is re-raised so failure
+// identity does not depend on goroutine timing.
+func (g *ShardGroup) runShards(limit int64) {
+	if g.workers <= 1 || len(g.active) <= 1 {
+		for _, i := range g.active {
+			g.shards[i].runWindow(limit)
+		}
+		return
+	}
+	if g.sem == nil {
+		g.sem = make(chan struct{}, g.workers)
+	}
+	var wg sync.WaitGroup
+	for _, i := range g.active {
+		wg.Add(1)
+		g.sem <- struct{}{}
+		go func(i int) {
+			defer func() {
+				g.fails[i] = recover()
+				<-g.sem
+				wg.Done()
+			}()
+			g.shards[i].runWindow(limit)
+		}(i)
+	}
+	wg.Wait()
+	for _, f := range g.fails {
+		if f != nil {
+			panic(f)
+		}
+	}
+}
+
+// runWindow is RunUntil's event loop without the shell-pool release: a
+// sharded run executes many short windows per shard and wants process
+// shells to survive between them (ShardGroup.Run releases the pools once
+// at the end).
+func (e *Env) runWindow(limit int64) {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.q.Len() > 0 {
+		t := e.q.minTime()
+		if t > limit {
+			e.now = limit
+			break
+		}
+		if t > e.now {
+			e.now = t
+		}
+		for e.q.Len() > 0 && e.q.minTime() == t {
+			p, pgen, fn, reason := e.q.pop()
+			e.events++
+			if fn != nil {
+				fn()
+				continue
+			}
+			if p.done || p.gen != pgen {
+				continue
+			}
+			e.dispatch(p, reason)
+		}
+	}
+}
