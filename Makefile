@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test vet race bench bench-smoke bench-kernel bench-dataplane bench-netsim bench-orchestration bench-fleet golden stress repro tools clean
+.PHONY: all test vet race bench bench-smoke bench-kernel bench-dataplane bench-netsim bench-orchestration bench-fleet bench-swarm golden stress repro tools clean
 
 all: test
 
@@ -16,15 +16,16 @@ race:
 	go test -race ./...
 
 # Full micro-benchmark suite with allocation stats, summarized to
-# BENCH_7.json (fleet-mode PR: FleetDFSIO10k is the headline — a 10k-node,
-# million-file replicated-write sweep on the rack-sharded kernel, with
-# events/op and MB-of-heap/node; SetDownAbort pins the affected-links-only
-# failure re-solve). The 10k smoke runs at -benchtime 1x via bench-fleet;
-# this target excludes it to keep the full-suite wall time bounded.
+# BENCH_8.json (swarm PR: SwarmArrivals is the headline — the open-loop
+# arrival engine's hot path at 0 allocs/op; SwarmMillion holds a million
+# 16-byte clients at tens of B-heap/client; ShardSyncSparse shows
+# adaptive lookahead collapsing the barrier count on diverged shard
+# timelines). The -benchtime 1x smokes run via bench-fleet/bench-swarm;
+# this target excludes them to keep the full-suite wall time bounded.
 bench: tools
-	go test -run '^$$' -bench . -benchmem -skip 'FleetDFSIO10k' ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
-	go test -run '^$$' -bench 'FleetDFSIO10k' -benchtime 1x . >> bench.out || (cat bench.out; rm -f bench.out; exit 1)
-	./bin/benchjson -out BENCH_7.json -note "host: $$(nproc) CPU core(s); fleet-mode PR — FleetDFSIO10k sweeps 10k nodes x 100 files on the sharded kernel (events/op, MB-heap/node, wall-s), FleetShardSpeedup compares shards=1 vs 4 wall-clock, Tab8FleetScaling regenerates the scaling table, SetDownAbort pins failure re-solve cost; everything else must match BENCH_6" < bench.out
+	go test -run '^$$' -bench . -benchmem -skip 'FleetDFSIO10k|SwarmMillion' ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	go test -run '^$$' -bench 'FleetDFSIO10k|SwarmMillion' -benchtime 1x . >> bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	./bin/benchjson -out BENCH_8.json -note "host: $$(nproc) CPU core(s); swarm PR — SwarmArrivals drives the zero-alloc open-loop arrival engine (0 allocs/op, Marrivals/s), SwarmMillion runs 10^6 clients x 100 QPS on the 4-way-sharded fleet (B-heap/client, events/req, req/wall-s), ShardSyncSparse compares adaptive vs fixed lookahead windows/op, Tab9SwarmScaling regenerates the swarm table; everything else must match BENCH_7" < bench.out
 	rm -f bench.out
 
 # One-iteration benchmark pass: proves every benchmark still compiles and
@@ -59,15 +60,25 @@ bench-fleet:
 	go test -run '^$$' -bench 'Tab8FleetScaling|FleetDFSIO10k|FleetShardSpeedup' -benchmem -benchtime 1x -timeout 20m .
 	go test -run '^$$' -bench 'SetDownAbort' -benchmem ./internal/netsim/
 
+# Open-loop swarm scaling: the zero-alloc arrival engine hot path, the
+# adaptive-vs-fixed sync window comparison, the tab9 table, and the
+# million-client smoke once (-benchtime 1x; B-heap/client headline).
+bench-swarm:
+	go test -run '^$$' -bench 'SwarmArrivals' -benchmem ./internal/swarm/
+	go test -run '^$$' -bench 'ShardSyncSparse' -benchmem ./internal/sim/
+	go test -run '^$$' -bench 'SwarmShardSpeedup' -benchmem .
+	go test -run '^$$' -bench 'Tab9SwarmScaling|SwarmMillion' -benchmem -benchtime 1x -timeout 20m .
+
 # Golden determinism suite: seed schemes, flow streaming, coalescing, and
 # the multi-job orchestration fingerprint must match their recorded values.
 golden:
 	go test -run 'TestGolden' -v .
 
 # Concurrency stress tests under the race detector: sharded engine, TCP
-# server, and pipelined client hammered by colliding goroutines.
+# server, pipelined client, concurrent shard windows (adaptive on and
+# off), and the cross-shard swarm fingerprint.
 stress:
-	go test -race -run 'Stress|Concurrent|Pipelined' -count 2 ./internal/memcached/... .
+	go test -race -run 'Stress|Concurrent|Pipelined' -count 2 ./internal/memcached/... ./internal/sim/ .
 
 # Regenerate every paper figure/table at full scale (EXPERIMENTS.md data).
 repro: tools

@@ -9,6 +9,7 @@ package hbb
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -347,6 +348,69 @@ func BenchmarkFleetDFSIO10k(b *testing.B) {
 	b.ReportMetric(float64(r.Ops), "files")
 }
 
+// BenchmarkTab9SwarmScaling regenerates the open-loop swarm scaling
+// table at small scale (the full million-client sweep runs via
+// `make bench-swarm`).
+func BenchmarkTab9SwarmScaling(b *testing.B) { benchExperiment(b, "tab9") }
+
+// swarmOnce runs one open-loop swarm cell and reports the scaling
+// metrics alongside the timing. Requests are KV-sized (256 B) to keep
+// the zipf-hot node inside its NIC capacity — see tab9.
+func swarmOnce(b *testing.B, clients, shards int) SwarmResult {
+	fb, err := NewFleet(Options{Nodes: 240, RacksOf: 20, FleetMode: true,
+		Seed: 1, SimShards: shards,
+		Swarm: SwarmOptions{
+			Clients:      clients,
+			TargetQPS:    100 * float64(clients),
+			Zipf:         1.1,
+			RequestBytes: 256,
+			Duration:     10 * time.Millisecond,
+		}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := fb.RunSwarm()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkSwarmMillion is the million-client smoke: 10^6 open-loop
+// clients at 100 QPS each on a 4-way-sharded 240-node fleet. Run with
+// -benchtime 1x (`make bench-swarm`); each iteration is one full run.
+// The headline figure is retained heap bytes per client.
+func BenchmarkSwarmMillion(b *testing.B) {
+	var r SwarmResult
+	for i := 0; i < b.N; i++ {
+		r = swarmOnce(b, 1000000, 4)
+	}
+	b.ReportMetric(r.HeapBPerClient, "B-heap/client")
+	b.ReportMetric(r.EventsPerRequest, "events/req")
+	b.ReportMetric(float64(r.Requests)/r.Wall.Seconds(), "req/wall-s")
+	b.ReportMetric(float64(r.Requests), "requests")
+}
+
+// BenchmarkSwarmShardSpeedup runs the same 100k-client swarm on one
+// heap and on a 4-way-sharded kernel so benchstat shows the multi-core
+// win (identical fingerprints; only wall-clock differs — on a 1-core
+// host the sharded run must stay within ~2%).
+func BenchmarkSwarmShardSpeedup(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			runtime.GC()
+			b.ResetTimer()
+			var r SwarmResult
+			for i := 0; i < b.N; i++ {
+				r = swarmOnce(b, 100000, shards)
+			}
+			b.ReportMetric(r.EventsPerRequest, "events/req")
+			b.ReportMetric(float64(r.Requests)/r.Wall.Seconds(), "req/wall-s")
+		})
+	}
+}
+
 // BenchmarkFleetShardSpeedup runs the same 1000-node sweep on one heap
 // and on a 4-way-sharded kernel so benchstat shows the multi-core win
 // (the traces are identical; only wall-clock differs).
@@ -354,6 +418,11 @@ func BenchmarkFleetShardSpeedup(b *testing.B) {
 	for _, shards := range []int{1, 4} {
 		shards := shards
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			// Earlier benchmarks in the suite leave heap garbage whose GC
+			// lands inside this sub-second measurement; start clean so the
+			// shards=1 vs 4 comparison isn't skewed by suite order.
+			runtime.GC()
+			b.ResetTimer()
 			var r FleetResult
 			for i := 0; i < b.N; i++ {
 				r = fleetDFSIOOnce(b, 1000, shards, 20, 8<<20)

@@ -6,6 +6,7 @@
 //
 //	bbrun -workload dfsio-write -backend bb-async -nodes 8 -files 32 -size-mb 1024
 //	bbrun -workload sort -backend lustre -size-mb 8192
+//	bbrun -fleet -swarm -nodes 240 -clients 100000 -qps 1e7 -zipf 1.1 -shards 4
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"hbb"
 	"hbb/internal/profiling"
@@ -32,6 +34,12 @@ func main() {
 		fleet    = flag.Bool("fleet", false, "fleet mode: memory-lean flow-only nodes on a rack-sharded kernel (workloads: dfsio-write, stress)")
 		shards   = flag.Int("shards", 1, "fleet mode: DES event-heap shards (racks partitioned round-robin)")
 		racksOf  = flag.Int("racks-of", 20, "fleet mode: nodes per rack")
+		swarm    = flag.Bool("swarm", false, "fleet mode: drive an open-loop client swarm instead of a -workload")
+		clients  = flag.Int("clients", 100000, "swarm: open-loop client population")
+		qps      = flag.Float64("qps", 1e7, "swarm: aggregate offered request rate")
+		zipf     = flag.Float64("zipf", 1.1, "swarm: key-popularity skew (> 1, or 0 for uniform)")
+		reqBytes = flag.Int64("req-bytes", 256, "swarm: request payload bytes")
+		swarmMS  = flag.Int64("swarm-ms", 10, "swarm: generation horizon in virtual milliseconds")
 		brickGiB = flag.Int("bb-brick-gib", 1, "burst-buffer capacity granule in GiB (orchestrated allocations are whole bricks)")
 		bbSched  = flag.String("bb-sched", "fcfs", "buffer orchestrator queue discipline: fcfs | backfill")
 		trace    = flag.String("trace", "", "write a per-operation FS trace to this file")
@@ -52,6 +60,20 @@ func main() {
 		}
 	}()
 
+	if *swarm {
+		if !*fleet {
+			fmt.Fprintln(os.Stderr, "bbrun: -swarm requires -fleet")
+			os.Exit(2)
+		}
+		runSwarm(*nodes, *racksOf, *shards, *seed, hbb.Transport(*transp), hbb.SwarmOptions{
+			Clients:      *clients,
+			TargetQPS:    *qps,
+			Zipf:         *zipf,
+			RequestBytes: *reqBytes,
+			Duration:     time.Duration(*swarmMS) * time.Millisecond,
+		})
+		return
+	}
 	if *fleet {
 		runFleet(*workload, *nodes, *racksOf, *shards, *files, *sizeMB, *seed, hbb.Transport(*transp))
 		return
@@ -190,6 +212,41 @@ func runFleet(workload string, nodes, racksOf, shards, files int, sizeMB, seed i
 		res.Elapsed.Seconds(), res.Wall.Seconds(), res.Events, res.EventsPerOp,
 		res.Windows, res.Messages)
 	fmt.Printf("heap=%.3f MB/node fingerprint=%016x\n", res.HeapMBPerNode, res.Fingerprint)
+}
+
+// runSwarm drives the open-loop client swarm on a fleet testbed and
+// prints the scaling figures plus the swarm metric namespace.
+func runSwarm(nodes, racksOf, shards int, seed int64, transport hbb.Transport, so hbb.SwarmOptions) {
+	fb, err := hbb.NewFleet(hbb.Options{
+		Nodes:     nodes,
+		RacksOf:   racksOf,
+		Transport: transport,
+		Seed:      seed,
+		SimShards: shards,
+		FleetMode: true,
+		Swarm:     so,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbrun:", err)
+		os.Exit(1)
+	}
+	res, err := fb.RunSwarm()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("swarm: clients=%d nodes=%d racks=%d shards=%d requests=%d completed=%d\n",
+		res.Clients, res.Nodes, res.Racks, res.Shards, res.Requests, res.Completed)
+	fmt.Printf("virtual=%.3fs wall=%.3fs achieved=%.0f qps events=%d (%.2f/req) windows=%d cross-shard-msgs=%d\n",
+		res.Elapsed.Seconds(), res.Wall.Seconds(), res.AchievedQPS,
+		res.Events, res.EventsPerRequest, res.Windows, res.Messages)
+	fmt.Printf("heap=%.1f B/client max-inflight=%d moved=%.2fGiB fingerprint=%016x\n",
+		res.HeapBPerClient, res.MaxInflight, float64(res.Bytes)/(1<<30), res.Fingerprint)
+	for _, line := range strings.Split(strings.TrimSuffix(fb.Metrics().String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "swarm.") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
 }
 
 func report(err error, format string, args ...any) {

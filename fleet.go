@@ -17,6 +17,7 @@ import (
 	"hbb/internal/cluster"
 	"hbb/internal/metrics"
 	"hbb/internal/sim"
+	"hbb/internal/swarm"
 )
 
 const (
@@ -27,10 +28,11 @@ const (
 // FleetBed is a fleet-mode testbed. It is single-shot: build, load one
 // workload, read the result.
 type FleetBed struct {
-	opts Options
-	fc   *cluster.FleetCluster
-	base metrics.HeapSnapshot
-	ran  bool
+	opts    Options
+	fc      *cluster.FleetCluster
+	base    metrics.HeapSnapshot
+	metrics *metrics.Registry
+	ran     bool
 }
 
 // NewFleet builds a fleet testbed from the same Options vocabulary as
@@ -54,6 +56,12 @@ func NewFleet(opts Options) (*FleetBed, error) {
 	if opts.Nodes <= 0 || racksOf <= 0 || opts.Nodes%racksOf != 0 {
 		return nil, fmt.Errorf("hbb: fleet mode needs Nodes (%d) to fill whole racks of %d", opts.Nodes, racksOf)
 	}
+	if opts.Swarm.Enabled() {
+		// Fail fast on bad swarm knobs rather than at RunSwarm time.
+		if err := opts.Swarm.config(opts.Seed).Validate(); err != nil {
+			return nil, err
+		}
+	}
 	base := metrics.SnapHeap()
 	fc, err := cluster.NewFleet(cluster.FleetConfig{
 		Racks:        opts.Nodes / racksOf,
@@ -74,6 +82,66 @@ func (fb *FleetBed) Cluster() *cluster.FleetCluster { return fb.fc }
 // SetWorkers bounds how many shards execute concurrently inside each
 // synchronization window. Any value produces the identical event trace.
 func (fb *FleetBed) SetWorkers(n int) { fb.fc.Fleet.Group().SetWorkers(n) }
+
+// SetAdaptiveSync toggles the kernel's adaptive lookahead (on by
+// default). Both settings produce the identical event trace; off forces
+// the classic fixed-horizon windows, for A/B measurements.
+func (fb *FleetBed) SetAdaptiveSync(on bool) { fb.fc.Fleet.Group().SetAdaptive(on) }
+
+// SwarmOptions configures the open-loop client swarm a fleet run can
+// carry (Options.Swarm). Clients > 0 enables it; the remaining fields
+// mirror swarm.Config and zero values take its defaults.
+type SwarmOptions struct {
+	// Clients is the swarm population (0 leaves the swarm off).
+	Clients int
+	// TargetQPS is the aggregate offered request rate; mandatory when
+	// the swarm is enabled.
+	TargetQPS float64
+	// Zipf is the key-popularity skew exponent (> 1), or 0 for uniform.
+	Zipf float64
+	// Keys, RequestBytes, Duration, FixedRate pass through to
+	// swarm.Config.
+	Keys         int
+	RequestBytes int64
+	Duration     time.Duration
+	FixedRate    bool
+}
+
+// Enabled reports whether any swarm option is set.
+func (s SwarmOptions) Enabled() bool { return s != SwarmOptions{} }
+
+// config lowers the options onto swarm.Config.
+func (s SwarmOptions) config(seed int64) swarm.Config {
+	return swarm.Config{
+		Clients:      s.Clients,
+		TargetQPS:    s.TargetQPS,
+		Zipf:         s.Zipf,
+		Keys:         s.Keys,
+		RequestBytes: s.RequestBytes,
+		Duration:     s.Duration,
+		FixedRate:    s.FixedRate,
+		Seed:         seed,
+	}
+}
+
+// SwarmResult extends a fleet measurement with the swarm's figures.
+type SwarmResult struct {
+	FleetResult
+	// Clients is the swarm population; Requests the open-loop arrivals
+	// it generated; Completed the requests whose payload fully landed.
+	Clients   int
+	Requests  int64
+	Completed int64
+	// AchievedQPS is Requests over the generation horizon.
+	AchievedQPS float64
+	// EventsPerRequest is kernel events per generated request — the
+	// batching payoff (per-client events would put it in the tens).
+	EventsPerRequest float64
+	// HeapBPerClient is the retained-heap footprint per client in bytes.
+	HeapBPerClient float64
+	// MaxInflight is the peak outstanding-request count on any rack.
+	MaxInflight int64
+}
 
 // FleetResult is one fleet workload's measurement.
 type FleetResult struct {
@@ -207,6 +275,76 @@ func (fb *FleetBed) DFSIOWrite(filesPerNode int, fileSize int64) FleetResult {
 		})
 	}
 	return fb.run(fh, nodes*filesPerNode)
+}
+
+// RunSwarm drives the Options.Swarm open-loop client population over
+// the fleet: arrivals generate zipfian-addressed request payloads,
+// batched per (tick, destination rack) into flow injections, until the
+// configured duration of virtual time; in-flight transfers then drain.
+// The returned result carries both the fleet kernel figures and the
+// swarm's: achieved QPS, events per request, and heap bytes per client.
+func (fb *FleetBed) RunSwarm() (SwarmResult, error) {
+	if !fb.opts.Swarm.Enabled() {
+		return SwarmResult{}, fmt.Errorf("hbb: RunSwarm without Options.Swarm configured")
+	}
+	sw, err := swarm.New(fb.opts.Swarm.config(fb.opts.Seed), fb.fc.Fleet)
+	if err != nil {
+		return SwarmResult{}, err
+	}
+	if fb.ran {
+		panic("hbb: FleetBed workloads are single-shot; build a new fleet")
+	}
+	fb.ran = true
+	sw.Start()
+	start := time.Now()
+	end := fb.fc.Run()
+	wall := time.Since(start)
+	st := sw.Stats()
+	topo := fb.fc.Fleet.Topology()
+	g := fb.fc.Fleet.Group()
+	h := sw.Fingerprint()
+	h ^= uint64(end)
+	h *= fnvPrime
+	res := SwarmResult{
+		FleetResult: FleetResult{
+			Nodes:       fb.fc.Nodes(),
+			Racks:       topo.Racks,
+			Shards:      topo.Shards,
+			Ops:         int(st.Arrivals),
+			Bytes:       st.BytesSent,
+			Elapsed:     end,
+			Wall:        wall,
+			Events:      g.Events(),
+			Windows:     g.Windows(),
+			Messages:    g.Messages(),
+			Fingerprint: h,
+		},
+		Clients:     st.Clients,
+		Requests:    st.Arrivals,
+		Completed:   st.Completed,
+		AchievedQPS: st.AchievedQPS,
+		MaxInflight: st.MaxInflight,
+	}
+	if st.Arrivals > 0 {
+		res.EventsPerOp = float64(res.Events) / float64(st.Arrivals)
+		res.EventsPerRequest = res.EventsPerOp
+	}
+	heap := metrics.SnapHeap()
+	res.HeapMBPerNode = heap.DeltaMBPerNode(fb.base, res.Nodes)
+	res.HeapBPerClient = heap.DeltaMBPerNode(fb.base, st.Clients) * 1e6
+	sw.FillMetrics(fb.reg())
+	return res, nil
+}
+
+// Metrics returns the fleet bed's registry (populated by RunSwarm with
+// the swarm.* namespace).
+func (fb *FleetBed) Metrics() *metrics.Registry { return fb.reg() }
+
+func (fb *FleetBed) reg() *metrics.Registry {
+	if fb.metrics == nil {
+		fb.metrics = metrics.NewRegistry()
+	}
+	return fb.metrics
 }
 
 // Stress runs a kitchen-sink traffic mix spanning racks: HDFS-style

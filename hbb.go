@@ -281,6 +281,11 @@ type Options struct {
 	// wall-clock speed on multi-core hosts. Zero defaults to 1 (a single
 	// heap, the reference trace). Ignored outside fleet mode.
 	SimShards int
+	// Swarm attaches an open-loop client swarm to a fleet run: millions
+	// of clients as compact records generating target-QPS zipfian load
+	// (see FleetBed.RunSwarm). Requires FleetMode; the zero value leaves
+	// swarm load off.
+	Swarm SwarmOptions
 	// Trace, when non-nil, logs every file-system operation of every
 	// backend (virtual timestamp, duration, node, op, outcome) to the
 	// writer — a debugging aid for workload authors.
@@ -348,6 +353,9 @@ func New(opts Options) (*Testbed, error) {
 	}
 	if _, err := orchestrator.ParseSchedPolicy(opts.BBSched); err != nil {
 		return nil, err
+	}
+	if opts.Swarm.Enabled() {
+		return nil, fmt.Errorf("hbb: swarm load requires FleetMode (build with NewFleet, or bbrun -fleet -swarm)")
 	}
 	var legacy *netsim.Profile
 	if prof.OneSided && !opts.DisableLegacy {

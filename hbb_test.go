@@ -292,8 +292,8 @@ func TestExperimentRegistry(t *testing.T) {
 			t.Errorf("experiment %q incomplete", e.ID)
 		}
 	}
-	if len(seen) != 18 {
-		t.Errorf("%d experiments, want 18 (10 figures + 8 tables)", len(seen))
+	if len(seen) != 19 {
+		t.Errorf("%d experiments, want 19 (10 figures + 9 tables)", len(seen))
 	}
 	if _, ok := ExperimentByID("fig3"); !ok {
 		t.Error("fig3 not found")

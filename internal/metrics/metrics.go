@@ -174,6 +174,32 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration sample in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// Merge folds another histogram's observations into h. Sharded runs keep
+// one histogram per shard-owned domain (no locking, no cross-shard
+// writes) and merge them into a registry histogram after the run; the
+// result is identical to observing every sample on h directly, up to the
+// retention cap.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for _, v := range o.samples {
+		if len(h.samples) >= h.cap {
+			break
+		}
+		h.samples = append(h.samples, v)
+	}
+	h.sorted = false
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count }
 

@@ -130,7 +130,8 @@ type fleetRack struct {
 	scratch []*fleetLink
 	gen     uint64
 	pool    []*fleetFlow
-	seq     uint64 // cross-shard send ordering counter
+	xfers   []*fleetXfer // StartTransfer record pool
+	seq     uint64       // cross-shard send ordering counter
 
 	sent     int64
 	recv     int64
@@ -209,42 +210,111 @@ func (fl *Fleet) checkNode(node int) (*fleetRack, int) {
 // ErrFleetShard reports a Transfer issued from the wrong shard.
 var ErrFleetShard = errors.New("netsim: transfer issued off the source node's shard")
 
+// fleetXfer is one in-flight StartTransfer: a pooled record whose phase
+// closures are built once (at pool miss) and reused for every transfer
+// the record carries, so the swarm's arrival hot path starts transfers
+// without allocating. The record is written on the source shard before
+// any message departs and released back to the source-rack pool on the
+// source shard, so the destination shard's phase-two reads are ordered
+// by the barrier protocol and need no locking.
+type fleetXfer struct {
+	sr, dr *fleetRack
+	di     int
+	n      int64
+	done   func()
+	// Cached phases of the cross-rack store-and-forward protocol.
+	handoff    func() // egress leg drained (src shard): message the dst rack
+	phase2     func() // payload arrived (dst shard): drain downlink leg
+	phase2Done func() // downlink leg drained (dst shard): ack the writer
+	ackFn      func() // ack arrived (src shard): complete
+	// Cached intra-rack completion pair: flow finish schedules finish one
+	// NIC latency later.
+	intraDone func()
+	finishFn  func()
+}
+
+func (x *fleetXfer) finish() {
+	done := x.done
+	sr := x.sr
+	x.done = nil
+	x.dr = nil
+	sr.xfers = append(sr.xfers, x)
+	done()
+}
+
+// StartTransfer begins moving n payload bytes from src to dst and
+// arranges for done to run on src's shard when the last byte lands (for
+// an intra-rack transfer: one NIC latency after the flow drains, the
+// same instant Transfer unblocks its caller). It must be called from
+// code executing on src's shard — a process, callback timer, or
+// delivered message. Loopback and empty transfers complete inline,
+// invoking done before returning. The machinery is fully pooled: steady
+// state starts transfers with zero allocations.
+func (fl *Fleet) StartTransfer(src, dst int, n int64, done func()) error {
+	sr, si := fl.checkNode(src)
+	dr, di := fl.checkNode(dst)
+	if done == nil {
+		panic("netsim: StartTransfer with nil done")
+	}
+	if n <= 0 || src == dst {
+		done()
+		return nil
+	}
+	var x *fleetXfer
+	if k := len(sr.xfers) - 1; k >= 0 {
+		x = sr.xfers[k]
+		sr.xfers[k] = nil
+		sr.xfers = sr.xfers[:k]
+	} else {
+		x = &fleetXfer{sr: sr}
+		x.finishFn = x.finish
+		x.intraDone = func() {
+			x.sr.env.After(x.sr.fl.topo.Profile.Latency, x.finishFn)
+		}
+		x.handoff = func() {
+			// Hand the payload to the destination rack one cross-rack
+			// latency later. This always rides the shard group — even
+			// when both racks share a shard — so delivery order is
+			// identical at any shard count.
+			s, lat := x.sr, x.sr.fl.topo.CrossRackLatency
+			s.fl.group.Send(s.shard, x.dr.shard, s.env.Now()+lat, uint64(s.id), s.nextSeq(), x.phase2)
+		}
+		x.phase2 = func() {
+			d := x.dr
+			d.recv += x.n
+			d.startFlow(int64(d.env.Now()), &d.down, &d.nodes[x.di].in, x.n, x.phase2Done)
+		}
+		x.phase2Done = func() {
+			// Completion ack back to the writer's shard.
+			d, lat := x.dr, x.sr.fl.topo.CrossRackLatency
+			d.fl.group.Send(d.shard, x.sr.shard, d.env.Now()+lat, uint64(d.id), d.nextSeq(), x.ackFn)
+		}
+		x.ackFn = x.finishFn
+	}
+	x.dr, x.di, x.n, x.done = dr, di, n, done
+	now := int64(sr.env.Now())
+	sr.sent += n
+	if sr == dr {
+		dr.recv += n
+		sr.startFlow(now, &sr.nodes[si].eg, &dr.nodes[di].in, n, x.intraDone)
+		return nil
+	}
+	sr.startFlow(now, &sr.nodes[si].eg, &sr.up, n, x.handoff)
+	return nil
+}
+
 // Transfer moves n payload bytes from src to dst, blocking the calling
 // process until the last byte lands. The caller must be running on src's
 // shard environment. Loopback is free, like Network's packet path.
 func (fl *Fleet) Transfer(p *sim.Proc, src, dst int, n int64) error {
-	sr, si := fl.checkNode(src)
-	dr, di := fl.checkNode(dst)
+	sr, _ := fl.checkNode(src)
 	if p.Env() != sr.env {
 		return fmt.Errorf("%w: node %d lives on shard %d", ErrFleetShard, src, sr.shard)
 	}
-	if n <= 0 || src == dst {
-		return nil
-	}
-	now := int64(p.Now())
-	sr.sent += n
 	var sig sim.Signal
-	if sr == dr {
-		dr.recv += n
-		sr.startFlow(now, &sr.nodes[si].eg, &dr.nodes[di].in, n, sig.Fire)
-		sig.Wait(p)
-		p.Sleep(fl.topo.Profile.Latency)
-		return nil
+	if err := fl.StartTransfer(src, dst, n, sig.Fire); err != nil {
+		return err
 	}
-	lat := fl.topo.CrossRackLatency
-	sr.startFlow(now, &sr.nodes[si].eg, &sr.up, n, func() {
-		// Hand the payload to the destination rack one cross-rack
-		// latency later. This always rides the shard group — even when
-		// both racks share a shard — so delivery order is identical at
-		// any shard count.
-		fl.group.Send(sr.shard, dr.shard, sr.env.Now()+lat, uint64(sr.id), sr.nextSeq(), func() {
-			dr.recv += n
-			dr.startFlow(int64(dr.env.Now()), &dr.down, &dr.nodes[di].in, n, func() {
-				// Completion ack back to the writer's shard.
-				fl.group.Send(dr.shard, sr.shard, dr.env.Now()+lat, uint64(dr.id), dr.nextSeq(), sig.Fire)
-			})
-		})
-	})
 	sig.Wait(p)
 	return nil
 }

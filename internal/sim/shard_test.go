@@ -41,9 +41,14 @@ func (d *shardDomain) nextSeq() uint64 {
 // sensitive to event order within each domain and to message delivery
 // order across domains.
 func shardTrace(domains, shards, workers int) uint64 {
+	return shardTraceMode(domains, shards, workers, true)
+}
+
+func shardTraceMode(domains, shards, workers int, adaptive bool) uint64 {
 	const lookahead = 5 * time.Microsecond
 	g := NewShardGroup(shards, lookahead, 42)
 	g.SetWorkers(workers)
+	g.SetAdaptive(adaptive)
 	ds := make([]*shardDomain, domains)
 	for i := range ds {
 		ds[i] = &shardDomain{

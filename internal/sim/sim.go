@@ -48,6 +48,15 @@ type Env struct {
 	// environment's lifetime — the cost metric flow-level modeling is
 	// judged by. See Events.
 	events int64
+	// Cross-shard delivery inbox, used only when the env belongs to a
+	// ShardGroup: msgs[msgHead:] holds pending deliveries in canonical
+	// (time, sender key, sender seq) order, msgSpare is the merge double
+	// buffer, and windowCap is the inclusive limit of the window being run
+	// (lowered mid-window by same-shard sends; see shard.go).
+	msgs      []crossMsg
+	msgHead   int
+	msgSpare  []crossMsg
+	windowCap int64
 }
 
 // New returns an empty environment whose clock starts at zero. The seed

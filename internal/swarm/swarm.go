@@ -1,0 +1,534 @@
+// Package swarm generates open-loop client load for fleet-mode
+// simulations: millions of clients modeled as compact records, not
+// processes.
+//
+// A closed-loop generator (one sim process per client, issue → wait →
+// think → repeat) costs a goroutine shell, a stack, and scheduler events
+// per client — nothing a million-client sweep can afford, and the
+// offered load collapses whenever the system slows down, hiding exactly
+// the overload behavior worth measuring. This package keeps clients
+// open-loop and record-shaped instead:
+//
+//   - a client is 16 bytes: its next arrival instant on the integer
+//     virtual timeline and a splitmix64 PRNG state. Per-client arrival
+//     schedules are target-QPS exponential (Poisson) or fixed-rate with
+//     a deterministic random phase;
+//   - each rack owns a flat slice of its clients plus a 4-ary index heap
+//     keyed by next-arrival time, and one callback-timer "tick" drains
+//     all arrivals due in the last tick interval — no per-client events
+//     exist at all;
+//   - arrivals in one tick fold into per-destination-rack batches: one
+//     fleetXfer flow injection per (tick, destination rack) carries the
+//     summed payload, so kernel work scales with traffic shape, not
+//     client count;
+//   - key popularity is zipfian (or uniform), mapped to owner nodes by a
+//     fixed multiplicative hash, so hot keys create genuine hot racks.
+//
+// Determinism matches the fleet's contract: every rack draws from its
+// own generator seeded by (seed, rack), folds its own trace hash, and
+// touches only rack-local state, so the swarm's fingerprint is identical
+// for any shard or worker count. The arrival hot path — heap pop, two
+// PRNG draws, scratch accumulate, heap reinsert — allocates nothing in
+// steady state (BenchmarkSwarmArrivals pins 0 allocs/op).
+package swarm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"hbb/internal/metrics"
+	"hbb/internal/netsim"
+	"hbb/internal/sim"
+)
+
+// Config shapes an open-loop client swarm.
+type Config struct {
+	// Clients is the swarm population, spread evenly across racks.
+	Clients int
+	// TargetQPS is the aggregate offered arrival rate (requests/sec of
+	// virtual time) across all clients.
+	TargetQPS float64
+	// Zipf is the zipfian skew exponent for key popularity; it must
+	// exceed 1 (math/rand's Zipf domain), or be 0 for uniform keys.
+	Zipf float64
+	// Keys is the distinct key population requests address (default 1M).
+	Keys int
+	// RequestBytes is the payload each request moves (default 64 KiB).
+	RequestBytes int64
+	// Duration is the open-loop generation horizon in virtual time
+	// (default 100ms); in-flight transfers drain after it.
+	Duration time.Duration
+	// FixedRate replaces exponential inter-arrivals with a fixed period
+	// per client (random phase), for closed-form offered load.
+	FixedRate bool
+	// Seed derives every per-rack generator stream.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Keys == 0 {
+		c.Keys = 1 << 20
+	}
+	if c.RequestBytes == 0 {
+		c.RequestBytes = 64 << 10
+	}
+	if c.Duration == 0 {
+		c.Duration = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Validate reports the first configuration error. Zero values for
+// fields with defaults are accepted; Clients and TargetQPS are
+// mandatory.
+func (c Config) Validate() error {
+	if c.Clients < 1 {
+		return fmt.Errorf("swarm: Clients must be at least 1, got %d", c.Clients)
+	}
+	if c.TargetQPS <= 0 {
+		return fmt.Errorf("swarm: TargetQPS must be positive, got %g", c.TargetQPS)
+	}
+	if c.Zipf != 0 && c.Zipf <= 1 {
+		return fmt.Errorf("swarm: Zipf skew must exceed 1 (or be 0 for uniform keys), got %g", c.Zipf)
+	}
+	if c.Keys < 0 {
+		return fmt.Errorf("swarm: Keys must be positive, got %d", c.Keys)
+	}
+	if c.RequestBytes < 0 {
+		return fmt.Errorf("swarm: RequestBytes must be positive, got %d", c.RequestBytes)
+	}
+	if c.Duration < 0 {
+		return fmt.Errorf("swarm: Duration must be positive, got %v", c.Duration)
+	}
+	return nil
+}
+
+// tick picks the arrival-scan interval: aim for ~64 arrivals per rack
+// per tick so batching amortizes, clamped to [1µs, 1ms] so idle racks
+// stay cheap and busy racks stay responsive.
+func (c Config) tick(racks int) int64 {
+	perRack := c.TargetQPS / float64(racks)
+	t := int64(64e9 / perRack)
+	if t < int64(time.Microsecond) {
+		t = int64(time.Microsecond)
+	}
+	if t > int64(time.Millisecond) {
+		t = int64(time.Millisecond)
+	}
+	return t
+}
+
+// clientRec is one swarm client: 16 bytes of next-arrival time and
+// PRNG state. A million clients cost ~16 MB plus a 4-byte heap slot
+// each.
+type clientRec struct {
+	next  int64
+	state uint64
+}
+
+// splitmix64 advances a per-client PRNG state; the standard finalizer
+// keeps streams independent across clients seeded with consecutive
+// values.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unitOpen converts a PRNG draw to a float in (0, 1], safe for Log.
+func unitOpen(v uint64) float64 {
+	return (float64(v>>11) + 1) / (1 << 53)
+}
+
+// batch is one pooled (tick, destination rack) flow injection; done is
+// the cached completion closure handed to StartTransfer.
+type batch struct {
+	g      *rackGen
+	reqs   int64
+	doneFn func()
+}
+
+// Swarm drives an open-loop client population over a fleet. Build with
+// New, call Start before the fleet group runs, and read Stats /
+// Fingerprint / FillMetrics after.
+type Swarm struct {
+	cfg     Config
+	fl      *netsim.Fleet
+	racks   []*rackGen
+	tickNs  int64
+	horizon int64
+}
+
+// rackGen owns one rack's share of the swarm: its client records, the
+// arrival heap, the key-popularity stream, per-tick batching scratch,
+// and the rack-local counters and trace hash. Only the rack's owning
+// shard ever touches it.
+type rackGen struct {
+	sw      *Swarm
+	id      int
+	env     *sim.Env
+	clients []clientRec
+	heap    []int32
+	zipf    *rand.Zipf
+	rng     *rand.Rand
+	gapMean float64 // mean inter-arrival per client, ns
+	period  int64   // fixed-rate period per client, ns
+
+	// Per-tick scratch, all reused: per-destination-rack byte and
+	// request accumulators, the representative destination slot, and the
+	// list of racks touched this tick.
+	bytes   []int64
+	reqs    []int64
+	slot    []int32
+	touched []int32
+	pool    []*batch
+	tickFn  func()
+
+	arrivals  int64
+	flows     int64
+	bytesSent int64
+	completed int64
+	inflight  int64
+	maxInfl   int64
+	hist      *metrics.Histogram
+	h         uint64
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// New builds a swarm over the fleet. The config is validated and
+// defaulted; clients are spread evenly across racks (remainder to the
+// lowest rack ids).
+func New(cfg Config, fl *netsim.Fleet) (*Swarm, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	topo := fl.Topology()
+	racks := topo.Racks
+	s := &Swarm{
+		cfg:     cfg,
+		fl:      fl,
+		racks:   make([]*rackGen, racks),
+		tickNs:  cfg.tick(racks),
+		horizon: int64(cfg.Duration),
+	}
+	perClient := float64(cfg.Clients) / cfg.TargetQPS * 1e9 // mean gap, ns
+	base, rem := cfg.Clients/racks, cfg.Clients%racks
+	next := 0
+	for r := range s.racks {
+		count := base
+		if r < rem {
+			count++
+		}
+		g := &rackGen{
+			sw:      s,
+			id:      r,
+			env:     fl.Env(r * topo.NodesPerRack),
+			gapMean: perClient,
+			period:  int64(perClient),
+			bytes:   make([]int64, racks),
+			reqs:    make([]int64, racks),
+			slot:    make([]int32, racks),
+			rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(r)*0x9e3779b9)),
+			hist:    metrics.NewHistogram(),
+			h:       fnvOffset,
+		}
+		if cfg.Zipf != 0 {
+			g.zipf = rand.NewZipf(g.rng, cfg.Zipf, 1, uint64(cfg.Keys-1))
+		}
+		g.tickFn = g.runTick
+		g.clients = make([]clientRec, count)
+		g.heap = make([]int32, 0, count)
+		for i := range g.clients {
+			c := &g.clients[i]
+			c.state = uint64(cfg.Seed)*0x9e3779b97f4a7c15 + uint64(next+i+1)
+			c.next = g.firstArrival(c)
+			if c.next < s.horizon {
+				g.heap = append(g.heap, int32(i))
+				g.siftUp(len(g.heap) - 1)
+			}
+		}
+		next += count
+		s.racks[r] = g
+	}
+	return s, nil
+}
+
+// Config returns the defaulted configuration the swarm runs with.
+func (s *Swarm) Config() Config { return s.cfg }
+
+// Tick returns the derived arrival-scan interval.
+func (s *Swarm) Tick() time.Duration { return time.Duration(s.tickNs) }
+
+// Start schedules every rack's first arrival tick. Call once, before
+// the fleet's shard group runs.
+func (s *Swarm) Start() {
+	for _, g := range s.racks {
+		if len(g.heap) > 0 {
+			g.env.At(time.Duration(s.tickNs), g.tickFn)
+		}
+	}
+}
+
+// firstArrival draws a client's initial arrival: exponential from time
+// zero, or a uniform phase within the fixed period.
+func (g *rackGen) firstArrival(c *clientRec) int64 {
+	if g.sw.cfg.FixedRate {
+		if g.period <= 0 {
+			return 0
+		}
+		return int64(splitmix64(&c.state) % uint64(g.period))
+	}
+	return g.gap(c)
+}
+
+// gap draws one exponential inter-arrival (or the fixed period).
+func (g *rackGen) gap(c *clientRec) int64 {
+	if g.sw.cfg.FixedRate {
+		return g.period
+	}
+	d := int64(-math.Log(unitOpen(splitmix64(&c.state))) * g.gapMean)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Heap ordering: (next-arrival time, client index) — a total order, so
+// pop order never depends on insertion history.
+func (g *rackGen) before(a, b int32) bool {
+	ca, cb := &g.clients[a], &g.clients[b]
+	if ca.next != cb.next {
+		return ca.next < cb.next
+	}
+	return a < b
+}
+
+func (g *rackGen) siftUp(i int) {
+	v := g.heap[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !g.before(v, g.heap[p]) {
+			break
+		}
+		g.heap[i] = g.heap[p]
+		i = p
+	}
+	g.heap[i] = v
+}
+
+func (g *rackGen) siftDown(i int) {
+	v := g.heap[i]
+	n := len(g.heap)
+	for {
+		min, c0 := i, i*4+1
+		for c := c0; c < c0+4 && c < n; c++ {
+			if min == i {
+				if g.before(g.heap[c], v) {
+					min = c
+				}
+			} else if g.before(g.heap[c], g.heap[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		g.heap[i] = g.heap[min]
+		i = min
+	}
+	g.heap[i] = v
+}
+
+// advance drains every arrival due at or before now into the per-rack
+// scratch accumulators and re-schedules each client, returning the
+// number of arrivals. This is the swarm's hot path; it allocates
+// nothing (the scratch and heap are pre-sized, the PRNGs are inline).
+func (g *rackGen) advance(now int64) int64 {
+	topo := g.sw.fl.Topology()
+	nodes := uint64(topo.Racks * topo.NodesPerRack)
+	per := topo.NodesPerRack
+	reqBytes := g.sw.cfg.RequestBytes
+	keys := uint64(g.sw.cfg.Keys)
+	var arrivals int64
+	for len(g.heap) > 0 {
+		ci := g.heap[0]
+		c := &g.clients[ci]
+		if c.next > now {
+			break
+		}
+		arrivals++
+		var key uint64
+		if g.zipf != nil {
+			key = g.zipf.Uint64()
+		} else {
+			key = g.rng.Uint64() % keys
+		}
+		// Fixed multiplicative hash: a hot key is always served by the
+		// same node, so zipfian skew creates stable hot racks.
+		dstNode := (key * 2654435761) % nodes
+		dRack := int32(dstNode) / int32(per)
+		if g.bytes[dRack] == 0 {
+			g.touched = append(g.touched, dRack)
+			g.slot[dRack] = int32(dstNode) % int32(per)
+		}
+		g.bytes[dRack] += reqBytes
+		g.reqs[dRack]++
+		c.next += g.gap(c)
+		if c.next >= g.sw.horizon {
+			// Client's schedule is past the generation horizon: retire it.
+			n := len(g.heap) - 1
+			g.heap[0] = g.heap[n]
+			g.heap = g.heap[:n]
+			if n > 0 {
+				g.siftDown(0)
+			}
+		} else {
+			g.siftDown(0)
+		}
+	}
+	g.arrivals += arrivals
+	return arrivals
+}
+
+// flush injects one batched flow per destination rack touched since the
+// last flush and folds the tick into the rack's trace hash. The batch
+// records and their completion closures are pooled.
+func (g *rackGen) flush(now int64) {
+	if len(g.touched) == 0 {
+		return
+	}
+	topo := g.sw.fl.Topology()
+	per := topo.NodesPerRack
+	srcBase := g.id * per
+	for _, dRack := range g.touched {
+		bytes, reqs := g.bytes[dRack], g.reqs[dRack]
+		g.bytes[dRack], g.reqs[dRack] = 0, 0
+		var b *batch
+		if k := len(g.pool) - 1; k >= 0 {
+			b = g.pool[k]
+			g.pool[k] = nil
+			g.pool = g.pool[:k]
+		} else {
+			b = &batch{g: g}
+			b.doneFn = b.done
+		}
+		b.reqs = reqs
+		// Source slot rotates with the tick index so one rack's offered
+		// load spreads across its nodes' egress NICs.
+		src := srcBase + int(g.flows)%per
+		dst := int(dRack)*per + int(g.slot[dRack])
+		g.flows++
+		g.bytesSent += bytes
+		g.inflight += reqs
+		if g.inflight > g.maxInfl {
+			g.maxInfl = g.inflight
+		}
+		g.fold(uint64(now), uint64(dRack), uint64(bytes), uint64(reqs))
+		if err := g.sw.fl.StartTransfer(src, dst, bytes, b.doneFn); err != nil {
+			panic(err)
+		}
+	}
+	g.touched = g.touched[:0]
+	g.hist.Observe(float64(g.inflight))
+}
+
+// done is a batch completion: the last byte of the batched flow landed.
+func (b *batch) done() {
+	g := b.g
+	g.completed += b.reqs
+	g.inflight -= b.reqs
+	b.reqs = 0
+	g.pool = append(g.pool, b)
+}
+
+// runTick is the rack's cached tick callback: drain due arrivals,
+// inject the batches, and re-arm while clients remain.
+func (g *rackGen) runTick() {
+	now := int64(g.env.Now())
+	g.advance(now)
+	g.flush(now)
+	if len(g.heap) > 0 {
+		g.env.After(time.Duration(g.sw.tickNs), g.tickFn)
+	}
+}
+
+func (g *rackGen) fold(vs ...uint64) {
+	h := g.h
+	for _, v := range vs {
+		h ^= v
+		h *= fnvPrime
+	}
+	g.h = h
+}
+
+// Stats is the swarm's aggregate measurement.
+type Stats struct {
+	Clients int
+	// Arrivals is the number of requests generated; Flows the batched
+	// flow injections that carried them; Completed the requests whose
+	// payload fully landed.
+	Arrivals  int64
+	Flows     int64
+	Completed int64
+	BytesSent int64
+	// AchievedQPS is Arrivals over the generation horizon.
+	AchievedQPS float64
+	// MaxInflight is the peak outstanding-request count across racks.
+	MaxInflight int64
+}
+
+// Stats aggregates the per-rack counters; call after the fleet run.
+func (s *Swarm) Stats() Stats {
+	st := Stats{Clients: s.cfg.Clients}
+	for _, g := range s.racks {
+		st.Arrivals += g.arrivals
+		st.Flows += g.flows
+		st.Completed += g.completed
+		st.BytesSent += g.bytesSent
+		if g.maxInfl > st.MaxInflight {
+			st.MaxInflight = g.maxInfl
+		}
+	}
+	st.AchievedQPS = float64(st.Arrivals) / s.cfg.Duration.Seconds()
+	return st
+}
+
+// Fingerprint folds the per-rack trace hashes in rack order — identical
+// for any shard or worker count.
+func (s *Swarm) Fingerprint() uint64 {
+	h := uint64(fnvOffset)
+	for _, g := range s.racks {
+		h ^= g.h
+		h *= fnvPrime
+		h ^= uint64(g.arrivals)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// FillMetrics publishes the swarm's aggregates into a registry under
+// the swarm.* namespace: arrival/flow/byte counters, the achieved QPS,
+// and the per-rack inflight histogram merged across all racks (and
+// therefore across shards).
+func (s *Swarm) FillMetrics(reg *metrics.Registry) {
+	st := s.Stats()
+	reg.Counter("swarm.clients").Add(int64(st.Clients))
+	reg.Counter("swarm.arrivals").Add(st.Arrivals)
+	reg.Counter("swarm.flows").Add(st.Flows)
+	reg.Counter("swarm.completed").Add(st.Completed)
+	reg.Counter("swarm.bytes.sent").Add(st.BytesSent)
+	reg.Counter("swarm.qps.achieved").Add(int64(st.AchievedQPS))
+	infl := reg.Histogram("swarm.inflight")
+	for _, g := range s.racks {
+		infl.Merge(g.hist)
+	}
+}

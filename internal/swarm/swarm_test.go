@@ -1,0 +1,225 @@
+package swarm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hbb/internal/metrics"
+	"hbb/internal/netsim"
+)
+
+func testFleet(t testing.TB, racks, per, shards int) *netsim.Fleet {
+	t.Helper()
+	fl, err := netsim.NewFleet(netsim.FleetTopology{
+		Racks:            racks,
+		NodesPerRack:     per,
+		Profile:          netsim.RDMA,
+		CrossRackLatency: 5 * time.Microsecond,
+		UplinkBandwidth:  4 * netsim.RDMA.Bandwidth,
+		Shards:           shards,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fl
+}
+
+func TestConfigValidate(t *testing.T) {
+	valid := Config{Clients: 10, TargetQPS: 1000}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"zero clients", func(c *Config) { c.Clients = 0 }, "Clients"},
+		{"negative clients", func(c *Config) { c.Clients = -5 }, "Clients"},
+		{"zero qps", func(c *Config) { c.TargetQPS = 0 }, "TargetQPS"},
+		{"negative qps", func(c *Config) { c.TargetQPS = -1 }, "TargetQPS"},
+		{"zipf at 1", func(c *Config) { c.Zipf = 1 }, "Zipf"},
+		{"zipf below 1", func(c *Config) { c.Zipf = 0.4 }, "Zipf"},
+		{"negative keys", func(c *Config) { c.Keys = -1 }, "Keys"},
+		{"negative request bytes", func(c *Config) { c.RequestBytes = -1 }, "RequestBytes"},
+		{"negative duration", func(c *Config) { c.Duration = -time.Second }, "Duration"},
+	} {
+		cfg := valid
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.want)
+		}
+	}
+	// Zero values with defaults are fine.
+	if err := (Config{Clients: 1, TargetQPS: 1, Zipf: 0}).Validate(); err != nil {
+		t.Errorf("defaulted config rejected: %v", err)
+	}
+}
+
+func runSwarm(t testing.TB, shards int, cfg Config) (*Swarm, Stats) {
+	fl := testFleet(t, 6, 4, shards)
+	s, err := New(cfg, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	fl.Group().Run()
+	return s, s.Stats()
+}
+
+func TestSwarmDeterminismAcrossShards(t *testing.T) {
+	cfg := Config{Clients: 3000, TargetQPS: 5e5, Zipf: 1.2, Duration: 5 * time.Millisecond, Seed: 7}
+	var baseFP uint64
+	var base Stats
+	for i, shards := range []int{1, 2, 3, 6} {
+		s, st := runSwarm(t, shards, cfg)
+		if i == 0 {
+			baseFP, base = s.Fingerprint(), st
+			if st.Arrivals == 0 {
+				t.Fatal("swarm generated no arrivals")
+			}
+			if st.Completed != st.Arrivals {
+				t.Fatalf("only %d of %d requests completed", st.Completed, st.Arrivals)
+			}
+			continue
+		}
+		if fp := s.Fingerprint(); fp != baseFP {
+			t.Errorf("shards=%d fingerprint %x, want %x", shards, fp, baseFP)
+		}
+		if st != base {
+			t.Errorf("shards=%d stats %+v, want %+v", shards, st, base)
+		}
+	}
+}
+
+func TestSwarmFixedRateOfferedLoad(t *testing.T) {
+	// Fixed-rate arrivals make the offered load closed-form: each client
+	// fires Duration/period times (±1 for phase), so achieved QPS must
+	// land within a few percent of target.
+	cfg := Config{Clients: 2000, TargetQPS: 4e5, Duration: 10 * time.Millisecond, FixedRate: true, Seed: 3}
+	_, st := runSwarm(t, 2, cfg)
+	ratio := st.AchievedQPS / cfg.TargetQPS
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("achieved %.0f QPS for target %.0f (ratio %.3f)", st.AchievedQPS, cfg.TargetQPS, ratio)
+	}
+}
+
+func TestSwarmZipfSkewsTraffic(t *testing.T) {
+	// With heavy zipf skew, the hottest rack must receive a
+	// disproportionate share of the bytes; under uniform keys it cannot.
+	hot := func(zipf float64) float64 {
+		fl := testFleet(t, 6, 4, 1)
+		s, err := New(Config{Clients: 2000, TargetQPS: 5e5, Zipf: zipf,
+			Duration: 5 * time.Millisecond, Seed: 11}, fl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+		fl.Group().Run()
+		var max, total int64
+		for r := 0; r < fl.Racks(); r++ {
+			_, recv := fl.RackTraffic(r)
+			total += recv
+			if recv > max {
+				max = recv
+			}
+		}
+		return float64(max) / float64(total)
+	}
+	uniform, skewed := hot(0), hot(1.5)
+	if skewed < 2*uniform {
+		t.Errorf("hottest-rack share: zipf=1.5 %.3f vs uniform %.3f; want >= 2x concentration", skewed, uniform)
+	}
+}
+
+func TestSwarmMetricsAggregateAcrossShards(t *testing.T) {
+	cfg := Config{Clients: 3000, TargetQPS: 5e5, Zipf: 1.2, Duration: 5 * time.Millisecond, Seed: 7}
+	var base string
+	for i, shards := range []int{1, 3} {
+		s, st := runSwarm(t, shards, cfg)
+		reg := metrics.NewRegistry()
+		s.FillMetrics(reg)
+		if got := reg.Counter("swarm.arrivals").Value(); got != st.Arrivals {
+			t.Errorf("shards=%d swarm.arrivals=%d, want %d", shards, got, st.Arrivals)
+		}
+		if got := reg.Counter("swarm.qps.achieved").Value(); got != int64(st.AchievedQPS) {
+			t.Errorf("shards=%d swarm.qps.achieved=%d, want %d", shards, got, int64(st.AchievedQPS))
+		}
+		infl := reg.Histogram("swarm.inflight")
+		if infl.Count() == 0 {
+			t.Fatalf("shards=%d inflight histogram empty", shards)
+		}
+		if infl.Max() > float64(st.MaxInflight) {
+			t.Errorf("shards=%d inflight max %.0f exceeds stats max %d", shards, infl.Max(), st.MaxInflight)
+		}
+		// The merged per-rack histograms (and every counter) must be
+		// identical however the racks were sharded.
+		if i == 0 {
+			base = reg.String()
+		} else if got := reg.String(); got != base {
+			t.Errorf("shards=%d metrics diverge:\n%s\nwant:\n%s", shards, got, base)
+		}
+	}
+}
+
+func TestSwarmTickClamp(t *testing.T) {
+	// Very low rates clamp the tick to 1ms; very high rates to 1µs.
+	lo := Config{Clients: 1, TargetQPS: 10}
+	if got := lo.tick(4); got != int64(time.Millisecond) {
+		t.Errorf("low-rate tick %d, want 1ms", got)
+	}
+	hi := Config{Clients: 1, TargetQPS: 1e12}
+	if got := hi.tick(4); got != int64(time.Microsecond) {
+		t.Errorf("high-rate tick %d, want 1µs", got)
+	}
+}
+
+// BenchmarkSwarmArrivals measures the arrival engine's hot path — heap
+// pop, PRNG draws, batching scratch accumulate, heap reinsert — with one
+// op per generated arrival. The acceptance bar is 0 allocs/op in steady
+// state.
+func BenchmarkSwarmArrivals(b *testing.B) {
+	fl := testFleet(b, 4, 8, 1)
+	s, err := New(Config{
+		Clients:   100000,
+		TargetQPS: 1e7,
+		Zipf:      1.1,
+		Duration:  time.Hour, // clients never retire mid-benchmark
+		Seed:      1,
+	}, fl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := s.racks[0]
+	tick := s.tickNs
+	now := int64(0)
+	drop := func() {
+		for _, d := range g.touched {
+			g.bytes[d], g.reqs[d] = 0, 0
+		}
+		g.touched = g.touched[:0]
+	}
+	// Warm the scratch so steady state is what gets measured.
+	now += tick
+	g.advance(now)
+	drop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total int64
+	for total < int64(b.N) {
+		now += tick
+		total += g.advance(now)
+		drop()
+	}
+	b.StopTimer()
+	if total > 0 {
+		b.ReportMetric(float64(total)/float64(b.Elapsed().Seconds())/1e6, "Marrivals/s")
+	}
+}
