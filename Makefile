@@ -16,16 +16,18 @@ race:
 	go test -race ./...
 
 # Full micro-benchmark suite with allocation stats, summarized to
-# BENCH_8.json (swarm PR: SwarmArrivals is the headline — the open-loop
-# arrival engine's hot path at 0 allocs/op; SwarmMillion holds a million
-# 16-byte clients at tens of B-heap/client; ShardSyncSparse shows
-# adaptive lookahead collapsing the barrier count on diverged shard
-# timelines). The -benchtime 1x smokes run via bench-fleet/bench-swarm;
-# this target excludes them to keep the full-suite wall time bounded.
+# BENCH_9.json (incremental-solver PR: SwarmOverload is the headline —
+# the 20x-oversubscribed swarm on the incremental component-limited
+# solver vs the old full-re-solve per-leg engine, >=10x req/wall-s;
+# FleetResolveTouched pins links-touched per rate event ~constant on
+# disjoint flows; SwarmMillion must hold its B-heap/client and
+# events/req figures). The -benchtime 1x smokes run via
+# bench-fleet/bench-swarm; this target excludes them to keep the
+# full-suite wall time bounded.
 bench: tools
-	go test -run '^$$' -bench . -benchmem -skip 'FleetDFSIO10k|SwarmMillion' ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
-	go test -run '^$$' -bench 'FleetDFSIO10k|SwarmMillion' -benchtime 1x . >> bench.out || (cat bench.out; rm -f bench.out; exit 1)
-	./bin/benchjson -out BENCH_8.json -note "host: $$(nproc) CPU core(s); swarm PR — SwarmArrivals drives the zero-alloc open-loop arrival engine (0 allocs/op, Marrivals/s), SwarmMillion runs 10^6 clients x 100 QPS on the 4-way-sharded fleet (B-heap/client, events/req, req/wall-s), ShardSyncSparse compares adaptive vs fixed lookahead windows/op, Tab9SwarmScaling regenerates the swarm table; everything else must match BENCH_7" < bench.out
+	go test -run '^$$' -bench . -benchmem -skip 'FleetDFSIO10k|SwarmMillion|SwarmOverload' ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	go test -run '^$$' -bench 'FleetDFSIO10k|SwarmMillion|SwarmOverload' -benchtime 1x . >> bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	./bin/benchjson -out BENCH_9.json -note "host: $$(nproc) CPU core(s); incremental-solver PR — SwarmOverload drives the 20x-oversubscribed open-loop swarm on the incremental bundled solver vs the old full-re-solve per-leg baseline (req/wall-s, links/op), FleetResolveTouched holds links-touched per rate event constant on link-disjoint flows, SwarmMillion (10^6 clients x 100 QPS, 4-way-sharded) must match BENCH_8's B-heap/client and events/req; everything else must match BENCH_8" < bench.out
 	rm -f bench.out
 
 # One-iteration benchmark pass: proves every benchmark still compiles and
@@ -61,13 +63,16 @@ bench-fleet:
 	go test -run '^$$' -bench 'SetDownAbort' -benchmem ./internal/netsim/
 
 # Open-loop swarm scaling: the zero-alloc arrival engine hot path, the
-# adaptive-vs-fixed sync window comparison, the tab9 table, and the
-# million-client smoke once (-benchtime 1x; B-heap/client headline).
+# adaptive-vs-fixed sync window comparison, the incremental-solver
+# cost pins (links-touched per rate event; overload req/wall-s vs the
+# full-re-solve baseline), the tab9 table, and the million-client
+# smoke once (-benchtime 1x; B-heap/client headline).
 bench-swarm:
 	go test -run '^$$' -bench 'SwarmArrivals' -benchmem ./internal/swarm/
 	go test -run '^$$' -bench 'ShardSyncSparse' -benchmem ./internal/sim/
+	go test -run '^$$' -bench 'FleetResolveTouched' -benchmem ./internal/netsim/
 	go test -run '^$$' -bench 'SwarmShardSpeedup' -benchmem .
-	go test -run '^$$' -bench 'Tab9SwarmScaling|SwarmMillion' -benchmem -benchtime 1x -timeout 20m .
+	go test -run '^$$' -bench 'Tab9SwarmScaling|SwarmMillion|SwarmOverload' -benchmem -benchtime 1x -timeout 20m .
 
 # Golden determinism suite: seed schemes, flow streaming, coalescing, and
 # the multi-job orchestration fingerprint must match their recorded values.
@@ -76,9 +81,10 @@ golden:
 
 # Concurrency stress tests under the race detector: sharded engine, TCP
 # server, pipelined client, concurrent shard windows (adaptive on and
-# off), and the cross-shard swarm fingerprint.
+# off), the cross-shard swarm fingerprint, and the incremental-vs-
+# reference flow-solver differential equivalence traces.
 stress:
-	go test -race -run 'Stress|Concurrent|Pipelined' -count 2 ./internal/memcached/... ./internal/sim/ .
+	go test -race -run 'Stress|Concurrent|Pipelined' -count 2 ./internal/memcached/... ./internal/sim/ ./internal/netsim/ .
 
 # Regenerate every paper figure/table at full scale (EXPERIMENTS.md data).
 repro: tools

@@ -391,6 +391,68 @@ func BenchmarkSwarmMillion(b *testing.B) {
 	b.ReportMetric(float64(r.Requests), "requests")
 }
 
+// swarmOverloadOnce drives one oversubscribed open-loop swarm run:
+// ~100k requests whose byte stream is ~20x what the zipf-hot NICs
+// can drain (the 10 GB offered in the 10 ms horizon takes ~23x that
+// long to clear), so a deep backlog of transfers piles onto the
+// fabric while the run drains to empty. With full=true the rate
+// solvers fall back to the engine this PR replaced: no same-pair
+// bundling (every outstanding leg its own entity) and a full
+// re-solve of every entity on every rate event.
+func swarmOverloadOnce(b *testing.B, full bool) (SwarmResult, *FleetBed) {
+	fb, err := NewFleet(Options{Nodes: 240, RacksOf: 20, FleetMode: true,
+		Seed: 1, SimShards: 4,
+		Swarm: SwarmOptions{
+			Clients:      20000,
+			TargetQPS:    1e7,
+			Zipf:         1.1,
+			RequestBytes: 96 << 10,
+			Duration:     10 * time.Millisecond,
+		}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fb.SetReferenceSolver(full)
+	fb.SetBundling(!full)
+	r, err := fb.RunSwarm()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r, fb
+}
+
+// BenchmarkSwarmOverload compares the incremental bundled solver
+// against the old full-resolve per-leg engine on the same
+// 20x-oversubscribed swarm. The offered load and request count are
+// identical; req/wall-s is the headline. links/op is solver links
+// touched per rate event — bounded by the affected component for the
+// incremental engine, O(outstanding legs) for the full baseline.
+func BenchmarkSwarmOverload(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		ref  bool
+	}{{"incremental", false}, {"full-resolve", true}} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			runtime.GC()
+			b.ResetTimer()
+			var r SwarmResult
+			var fb *FleetBed
+			for i := 0; i < b.N; i++ {
+				r, fb = swarmOverloadOnce(b, tc.ref)
+			}
+			b.StopTimer()
+			m := fb.Metrics()
+			resolves := m.Counter("fleet.resolves").Value()
+			if resolves > 0 {
+				b.ReportMetric(float64(m.Counter("fleet.links.touched").Value())/float64(resolves), "links/op")
+			}
+			b.ReportMetric(float64(r.Requests)/r.Wall.Seconds(), "req/wall-s")
+			b.ReportMetric(float64(r.Requests), "requests")
+		})
+	}
+}
+
 // BenchmarkSwarmShardSpeedup runs the same 100k-client swarm on one
 // heap and on a 4-way-sharded kernel so benchstat shows the multi-core
 // win (identical fingerprints; only wall-clock differs — on a 1-core

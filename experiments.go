@@ -1220,50 +1220,87 @@ func tab8(scale Scale) *metrics.Table {
 // Requests are KV-sized (256 B): zipf 1.1 over 2^20 keys sends ~12% of
 // all bytes to the single node owning the hottest key, so the 6 GB/s
 // NIC there — not the rack trunks — caps the stable offered load at
-// ~40 GB/s; a million clients offer 25.6 GB/s. Open-loop load beyond
-// capacity is legal but queues without bound, and the per-rack max-min
-// solver's cost grows with concurrent flows — the sweep stays in the
-// stable regime so wall-clock measures the engine, not overload.
+// ~40 GB/s; a million clients offer 25.6 GB/s. The scaling rows stay
+// in that stable regime so wall-clock measures the engine. The
+// overload rows then push a fixed population past it on purpose —
+// offered byte load at 1x/4x/20x of the ~40 GB/s reference, scaled
+// via request size — with a MaxInflight admission cap bounding the
+// open-loop backlog. shed%% is the capped fraction of arrivals and
+// links/op is solver links touched per rate event: the incremental
+// solver holds it near-flat from 1x to 20x, where the old full
+// re-solve's per-event cost tracked the outstanding-transfer
+// population (BenchmarkSwarmOverload carries that A/B).
 func tab9(scale Scale) *metrics.Table {
+	// capRef is the ~40 GB/s stable-capacity reference the overload
+	// multiples are quoted against (zipf-hot NIC bound, see above).
+	const capRef = 4e10
 	clientsAxis := []int{10000, 100000, 1000000}
 	shardsAxis := []int{1, 4}
+	overClients, overShards, overCap := 100000, 4, int64(2000)
 	if scale == ScaleSmall {
 		clientsAxis = []int{1000, 10000}
 		shardsAxis = []int{1, 2}
+		overClients, overShards, overCap = 10000, 2, 500
 	}
 	if fleetShardsOverride > 0 {
 		shardsAxis = []int{fleetShardsOverride}
+		overShards = fleetShardsOverride
 	}
 	const nodes, racksOf = 240, 20
+	run := func(clients, shards, reqBytes int, maxInflight int64) (SwarmResult, float64) {
+		fb, err := NewFleet(Options{Nodes: nodes, RacksOf: racksOf,
+			FleetMode: true, Seed: 1, SimShards: shards,
+			Swarm: SwarmOptions{
+				Clients:      clients,
+				TargetQPS:    100 * float64(clients),
+				Zipf:         1.1,
+				RequestBytes: int64(reqBytes),
+				Duration:     10 * time.Millisecond,
+				MaxInflight:  maxInflight,
+			}})
+		if err != nil {
+			panic(err)
+		}
+		r, err := fb.RunSwarm()
+		if err != nil {
+			panic(err)
+		}
+		m := fb.Metrics()
+		linksPerOp := 0.0
+		if res := m.Counter("fleet.resolves").Value(); res > 0 {
+			linksPerOp = float64(m.Counter("fleet.links.touched").Value()) / float64(res)
+		}
+		return r, linksPerOp
+	}
 	t := metrics.NewTable(fmt.Sprintf(
-		"tab9: open-loop swarm scaling, %d nodes in racks of %d, 100 QPS/client x 256 B zipf 1.1", nodes, racksOf),
-		"clients", "shards", "requests", "virt(s)", "wall(s)",
-		"req/wall-s", "events/req", "B-heap/client", "fingerprint")
+		"tab9: open-loop swarm, %d nodes in racks of %d, 100 QPS/client zipf 1.1; scaling rows at 256 B, overload rows at 1x/4x/20x of the 40 GB/s reference", nodes, racksOf),
+		"clients", "shards", "load", "requests", "virt(s)", "wall(s)",
+		"req/wall-s", "events/req", "B-heap/client", "shed%", "links/op", "fingerprint")
+	addRow := func(r SwarmResult, load string, linksPerOp float64) {
+		shedPct := 0.0
+		if r.Requests > 0 {
+			shedPct = 100 * float64(r.Shed) / float64(r.Requests)
+		}
+		t.AddRow(r.Clients, r.Shards, load, r.Requests,
+			float64(r.Elapsed)/1e9, float64(r.Wall)/1e9,
+			fmt.Sprintf("%.0f", float64(r.Requests)/r.Wall.Seconds()),
+			fmt.Sprintf("%.2f", r.EventsPerRequest),
+			fmt.Sprintf("%.1f", r.HeapBPerClient),
+			fmt.Sprintf("%.1f", shedPct),
+			fmt.Sprintf("%.1f", linksPerOp),
+			fmt.Sprintf("%016x", r.Fingerprint))
+	}
 	for _, clients := range clientsAxis {
 		for _, shards := range shardsAxis {
-			fb, err := NewFleet(Options{Nodes: nodes, RacksOf: racksOf,
-				FleetMode: true, Seed: 1, SimShards: shards,
-				Swarm: SwarmOptions{
-					Clients:      clients,
-					TargetQPS:    100 * float64(clients),
-					Zipf:         1.1,
-					RequestBytes: 256,
-					Duration:     10 * time.Millisecond,
-				}})
-			if err != nil {
-				panic(err)
-			}
-			r, err := fb.RunSwarm()
-			if err != nil {
-				panic(err)
-			}
-			t.AddRow(r.Clients, r.Shards, r.Requests,
-				float64(r.Elapsed)/1e9, float64(r.Wall)/1e9,
-				fmt.Sprintf("%.0f", float64(r.Requests)/r.Wall.Seconds()),
-				fmt.Sprintf("%.2f", r.EventsPerRequest),
-				fmt.Sprintf("%.1f", r.HeapBPerClient),
-				fmt.Sprintf("%016x", r.Fingerprint))
+			r, linksPerOp := run(clients, shards, 256, 0)
+			load := fmt.Sprintf("%.2fx", 100*float64(clients)*256/capRef)
+			addRow(r, load, linksPerOp)
 		}
+	}
+	for _, mult := range []int{1, 4, 20} {
+		reqBytes := int(float64(mult) * capRef / (100 * float64(overClients)))
+		r, linksPerOp := run(overClients, overShards, reqBytes, overCap)
+		addRow(r, fmt.Sprintf("%dx", mult), linksPerOp)
 	}
 	return t
 }

@@ -105,6 +105,10 @@ type SwarmOptions struct {
 	RequestBytes int64
 	Duration     time.Duration
 	FixedRate    bool
+	// MaxInflight, when positive, sheds arrivals while a rack's
+	// outstanding-request count is at the bound (swarm.Config.MaxInflight),
+	// keeping open-loop overload runs bounded.
+	MaxInflight int64
 }
 
 // Enabled reports whether any swarm option is set.
@@ -120,6 +124,7 @@ func (s SwarmOptions) config(seed int64) swarm.Config {
 		RequestBytes: s.RequestBytes,
 		Duration:     s.Duration,
 		FixedRate:    s.FixedRate,
+		MaxInflight:  s.MaxInflight,
 		Seed:         seed,
 	}
 }
@@ -128,10 +133,12 @@ func (s SwarmOptions) config(seed int64) swarm.Config {
 type SwarmResult struct {
 	FleetResult
 	// Clients is the swarm population; Requests the open-loop arrivals
-	// it generated; Completed the requests whose payload fully landed.
+	// it generated; Completed the requests whose payload fully landed;
+	// Shed the requests dropped at the MaxInflight admission cap.
 	Clients   int
 	Requests  int64
 	Completed int64
+	Shed      int64
 	// AchievedQPS is Requests over the generation horizon.
 	AchievedQPS float64
 	// EventsPerRequest is kernel events per generated request — the
@@ -232,6 +239,7 @@ func (fb *FleetBed) run(fh *fleetHash, ops int) FleetResult {
 		res.EventsPerOp = float64(res.Events) / float64(ops)
 	}
 	res.HeapMBPerNode = metrics.SnapHeap().DeltaMBPerNode(fb.base, res.Nodes)
+	fb.fillFleetMetrics()
 	return res
 }
 
@@ -322,6 +330,7 @@ func (fb *FleetBed) RunSwarm() (SwarmResult, error) {
 		Clients:     st.Clients,
 		Requests:    st.Arrivals,
 		Completed:   st.Completed,
+		Shed:        st.Shed,
 		AchievedQPS: st.AchievedQPS,
 		MaxInflight: st.MaxInflight,
 	}
@@ -333,11 +342,39 @@ func (fb *FleetBed) RunSwarm() (SwarmResult, error) {
 	res.HeapMBPerNode = heap.DeltaMBPerNode(fb.base, res.Nodes)
 	res.HeapBPerClient = heap.DeltaMBPerNode(fb.base, st.Clients) * 1e6
 	sw.FillMetrics(fb.reg())
+	fb.fillFleetMetrics()
 	return res, nil
 }
 
-// Metrics returns the fleet bed's registry (populated by RunSwarm with
-// the swarm.* namespace).
+// SetReferenceSolver switches the fleet between the incremental
+// component-limited rate solver (default) and the reference full
+// re-solve, which recomputes every active bundle on each rate event.
+// Both produce identical traces; the reference exists for differential
+// tests and the overload A/B benchmark.
+func (fb *FleetBed) SetReferenceSolver(on bool) { fb.fc.Fleet.SetReferenceSolver(on) }
+
+// SetBundling disables (or re-enables) same-(src,dst) leg aggregation in
+// the fleet's rate solvers. Off, every transfer leg is its own solver
+// entity — with SetReferenceSolver(true) this reproduces the old
+// full-re-solve engine whose per-event cost tracked the outstanding-leg
+// population; it is the overload-benchmark baseline, not a mid-run knob.
+func (fb *FleetBed) SetBundling(on bool) { fb.fc.Fleet.SetBundling(on) }
+
+// fillFleetMetrics publishes the fleet's solver-work counters under the
+// fleet.* namespace: solver invocations and the links they water-filled.
+// fleet.links.touched / fleet.resolves is the O(affected) figure tests
+// assert on — constant-bounded for link-disjoint workloads no matter how
+// many flows are active.
+func (fb *FleetBed) fillFleetMetrics() {
+	st := fb.fc.Fleet.Stats()
+	reg := fb.reg()
+	reg.Counter("fleet.flows").Add(st.Flows)
+	reg.Counter("fleet.resolves").Add(st.Resolves)
+	reg.Counter("fleet.links.touched").Add(st.LinksTouched)
+}
+
+// Metrics returns the fleet bed's registry: every workload fills the
+// fleet.* solver-work counters, and RunSwarm adds the swarm.* namespace.
 func (fb *FleetBed) Metrics() *metrics.Registry { return fb.reg() }
 
 func (fb *FleetBed) reg() *metrics.Registry {

@@ -4,7 +4,8 @@ package netsim
 // rack-structured topology whose nodes carry only what the max-min flow
 // solver needs. Where a Network iface owns two to four sim.Pipes (chunk
 // trains, name strings) plus lazily-built flowLinks behind a pointer, a
-// fleet node is two inline fleetLink records — roughly 64 bytes — so a
+// fleet node is two inline fleetLink records — roughly 96 bytes with the
+// incremental-solver state (remaining capacity, list head, stamps) — so a
 // 10,000-node topology costs megabytes of heap, not gigabytes. There are
 // no packet pipes, no per-node service tables, and the solver scratch is
 // one per-rack slice shared across all of the rack's interfaces.
@@ -85,12 +86,42 @@ func (t FleetTopology) Validate() error {
 
 // fleetLink is one direction of one NIC or rack trunk as seen by the
 // per-rack flow solver; remCap/nflows are water-filling scratch, valid
-// only while gen matches the rack's current solve generation.
+// only while gen matches the rack's current solve generation. head
+// anchors the intrusive list of draining bundles crossing the link and
+// compGen marks links already visited by the current component BFS.
 type fleetLink struct {
-	cap    float64
-	gen    uint64
-	remCap float64
-	nflows int
+	cap     float64
+	gen     uint64
+	remCap  float64
+	nflows  int
+	compGen uint64
+	head    *fleetBundle
+}
+
+// attach prepends bu to the link's draining-bundle list.
+func (l *fleetLink) attach(bu *fleetBundle) {
+	n := l.head
+	l.head = bu
+	bu.setPrev(l, nil)
+	bu.setNext(l, n)
+	if n != nil {
+		n.setPrev(l, bu)
+	}
+}
+
+// detach unlinks bu from the link's draining-bundle list.
+func (l *fleetLink) detach(bu *fleetBundle) {
+	p, n := bu.prevOn(l), bu.nextOn(l)
+	if p != nil {
+		p.setNext(l, n)
+	} else {
+		l.head = n
+	}
+	if n != nil {
+		n.setPrev(l, p)
+	}
+	bu.setPrev(l, nil)
+	bu.setNext(l, nil)
 }
 
 // fleetNode is a fleet member's entire network state.
@@ -99,22 +130,164 @@ type fleetNode struct {
 	in fleetLink
 }
 
-// fleetFlow is one draining transfer leg inside a rack.
-type fleetFlow struct {
-	rack      *fleetRack
-	a, b      *fleetLink
-	remaining float64
-	rate      float64
-	prevRate  float64
-	lastUpd   int64
-	frozen    bool
-	timer     sim.Timer
-	timerSet  bool
-	finishFn  func()
-	done      func()
+// fleetMember is one transfer leg riding a bundle: the bundle-service
+// value at which its last byte lands, an arrival tie-break, and its
+// completion callback.
+type fleetMember struct {
+	tag float64
+	seq uint64
+	fn  func()
 }
 
-// fleetRack owns one rack's nodes, trunk links, flow set, and solver
+// fleetBundle aggregates every concurrently draining transfer leg that
+// crosses the same (a, b) link pair into one solver entity with
+// multiplicity len(members). Max-min fairness gives same-pair flows
+// identical rates, so the solver only needs the count — under a 20x
+// oversubscribed swarm the backlog grows the member heaps, not the
+// water-filling working set, which stays bounded by the topology's
+// distinct pair count.
+//
+// Members are tracked in virtual service units: the bundle's cumulative
+// per-member service is S(t) = anchorS + rate*(t-anchorT)/1e9, a member
+// arriving at t with n bytes finishes when S reaches S(t)+n, and only
+// the member with the smallest such tag holds a completion timer. Rate
+// changes re-anchor S; tags never change, so backlogged members cost
+// nothing until they reach the heap head.
+type fleetBundle struct {
+	rack *fleetRack
+	a, b *fleetLink
+	// Intrusive membership in a's and b's draining-bundle lists.
+	aNext, aPrev *fleetBundle
+	bNext, bPrev *fleetBundle
+
+	members []fleetMember // min-heap by (tag, seq)
+	memSeq  uint64
+
+	seq      uint64  // creation order: solver iteration tie-break
+	anchorS  float64 // cumulative per-member service at anchorT
+	anchorT  int64   // virtual ns of the last rate change
+	rate     float64 // per-member fair-share rate, bytes/sec
+	prevRate float64
+	frozen   bool
+	compGen  uint64 // component-BFS visit mark
+	allIdx   int    // position in rack.all, for O(1) removal
+
+	timer    sim.Timer
+	timerSet bool
+	finishFn func()
+}
+
+// nextOn/prevOn/setNext/setPrev address the intrusive list slot for
+// whichever of the bundle's two links l is (a and b are always distinct:
+// every leg pairs two different link kinds).
+func (bu *fleetBundle) nextOn(l *fleetLink) *fleetBundle {
+	if l == bu.a {
+		return bu.aNext
+	}
+	return bu.bNext
+}
+
+func (bu *fleetBundle) prevOn(l *fleetLink) *fleetBundle {
+	if l == bu.a {
+		return bu.aPrev
+	}
+	return bu.bPrev
+}
+
+func (bu *fleetBundle) setNext(l *fleetLink, g *fleetBundle) {
+	if l == bu.a {
+		bu.aNext = g
+	} else {
+		bu.bNext = g
+	}
+}
+
+func (bu *fleetBundle) setPrev(l *fleetLink, g *fleetBundle) {
+	if l == bu.a {
+		bu.aPrev = g
+	} else {
+		bu.bPrev = g
+	}
+}
+
+// serviceAt returns the bundle's cumulative per-member service at now
+// without moving the anchor.
+func (bu *fleetBundle) serviceAt(now int64) float64 {
+	if bu.rate <= 0 || now <= bu.anchorT {
+		return bu.anchorS
+	}
+	return bu.anchorS + bu.rate*float64(now-bu.anchorT)/1e9
+}
+
+// advanceAnchor books the service accumulated at the given rate since
+// the last anchor. Like Flow.advanceAt, it runs only when the bundle's
+// rate changes (or its timer needs re-arming), so progress accounting is
+// a function of the rate-change instants alone.
+func (bu *fleetBundle) advanceAnchor(now int64, rate float64) {
+	if dt := now - bu.anchorT; dt > 0 && rate > 0 {
+		bu.anchorS += rate * float64(dt) / 1e9
+	}
+	bu.anchorT = now
+}
+
+// memberBefore is the member heap order: (tag, arrival seq).
+func (bu *fleetBundle) memberBefore(x, y fleetMember) bool {
+	if x.tag != y.tag {
+		return x.tag < y.tag
+	}
+	return x.seq < y.seq
+}
+
+// pushMember inserts a leg into the member heap, reporting whether it
+// became the head (its completion now precedes the armed timer's).
+func (bu *fleetBundle) pushMember(m fleetMember) bool {
+	bu.members = append(bu.members, m)
+	i := len(bu.members) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !bu.memberBefore(m, bu.members[p]) {
+			break
+		}
+		bu.members[i] = bu.members[p]
+		i = p
+	}
+	bu.members[i] = m
+	return i == 0
+}
+
+// popHead removes the earliest-finishing member and returns its
+// completion callback.
+func (bu *fleetBundle) popHead() func() {
+	fn := bu.members[0].fn
+	n := len(bu.members) - 1
+	v := bu.members[n]
+	bu.members[n] = fleetMember{}
+	bu.members = bu.members[:n]
+	if n > 0 {
+		i := 0
+		for {
+			min, c0 := i, i*4+1
+			for c := c0; c < c0+4 && c < n; c++ {
+				if min == i {
+					if bu.memberBefore(bu.members[c], v) {
+						min = c
+					}
+				} else if bu.memberBefore(bu.members[c], bu.members[min]) {
+					min = c
+				}
+			}
+			if min == i {
+				break
+			}
+			bu.members[i] = bu.members[min]
+			i = min
+		}
+		bu.members[i] = v
+	}
+	return fn
+}
+
+// fleetRack owns one rack's nodes, trunk links, bundle set, and solver
 // scratch. Exactly one shard ever touches a rack, so none of this needs
 // locking even when windows execute concurrently.
 type fleetRack struct {
@@ -126,17 +299,25 @@ type fleetRack struct {
 	up    fleetLink
 	down  fleetLink
 
-	flows   []*fleetFlow
-	scratch []*fleetLink
-	gen     uint64
-	pool    []*fleetFlow
-	xfers   []*fleetXfer // StartTransfer record pool
-	seq     uint64       // cross-shard send ordering counter
+	all         []*fleetBundle // active bundles, arbitrary order (seq orders the solve)
+	scratch     []*fleetLink
+	gen         uint64
+	compGen     uint64
+	bundleSeq   uint64
+	compBundles []*fleetBundle // component-BFS scratch
+	compLinks   []*fleetLink
+	refScratch  []*fleetBundle // full-resolve iteration order (reference mode)
+	ref         bool           // reference (full re-solve) mode, test hook
+	noBundle    bool           // one singleton bundle per leg, baseline hook
+	pool        []*fleetBundle
+	xfers       []*fleetXfer // StartTransfer record pool
+	seq         uint64       // cross-shard send ordering counter
 
-	sent     int64
-	recv     int64
-	started  int64
-	resolves int64
+	sent         int64
+	recv         int64
+	started      int64
+	resolves     int64
+	linksTouched int64
 }
 
 func (r *fleetRack) nextSeq() uint64 {
@@ -321,99 +502,185 @@ func (fl *Fleet) Transfer(p *sim.Proc, src, dst int, n int64) error {
 
 // startFlow begins draining n bytes across two of the rack's links and
 // arranges for done to run (on the rack's shard) when the last byte
-// lands. It must run on the rack's shard.
+// lands. It must run on the rack's shard. The leg joins the existing
+// bundle for its (a, b) pair when one is draining, so concurrent
+// same-pair legs cost a member-heap push, not a new solver entity.
 func (r *fleetRack) startFlow(now int64, a, b *fleetLink, n int64, done func()) {
-	var f *fleetFlow
+	r.started++
+	var bu *fleetBundle
+	if !r.noBundle {
+		for g := a.head; g != nil; g = g.nextOn(a) {
+			if g.a == a && g.b == b {
+				bu = g
+				break
+			}
+		}
+	}
+	fresh := bu == nil
+	if fresh {
+		bu = r.getBundle(a, b, now)
+	}
+	bu.memSeq++
+	m := fleetMember{tag: bu.serviceAt(now) + float64(n), seq: bu.memSeq, fn: done}
+	if bu.pushMember(m) && !fresh && bu.timerSet {
+		// The new leg finishes before the armed head: invalidate the
+		// timer so the re-solve re-arms it even if the rate is unchanged.
+		r.env.Cancel(bu.timer)
+		bu.timerSet = false
+	}
+	r.resolveAffected(now, a, b)
+}
+
+// getBundle takes a pooled (or new) bundle for the (a, b) pair and
+// attaches it to both links' draining lists.
+func (r *fleetRack) getBundle(a, b *fleetLink, now int64) *fleetBundle {
+	var bu *fleetBundle
 	if k := len(r.pool) - 1; k >= 0 {
-		f = r.pool[k]
+		bu = r.pool[k]
 		r.pool[k] = nil
 		r.pool = r.pool[:k]
 	} else {
-		f = &fleetFlow{rack: r}
-		f.finishFn = f.finish
+		bu = &fleetBundle{rack: r}
+		bu.finishFn = bu.finish
 	}
-	f.a, f.b = a, b
-	f.remaining = float64(n)
-	f.rate = 0
-	f.prevRate = 0
-	f.lastUpd = now
-	f.timerSet = false
-	f.done = done
-	r.flows = append(r.flows, f)
-	r.started++
-	r.resolve(now)
+	bu.a, bu.b = a, b
+	bu.rate, bu.prevRate = 0, 0
+	bu.anchorS, bu.anchorT = 0, now
+	bu.memSeq = 0
+	bu.timerSet = false
+	r.bundleSeq++
+	bu.seq = r.bundleSeq
+	a.attach(bu)
+	b.attach(bu)
+	bu.allIdx = len(r.all)
+	r.all = append(r.all, bu)
+	return bu
 }
 
-// advance books the bytes transmitted since the last accounting.
-func (f *fleetFlow) advance(now int64) {
-	if dt := now - f.lastUpd; dt > 0 && f.rate > 0 {
-		f.remaining -= f.rate * float64(dt) / 1e9
-		if f.remaining < 0 {
-			f.remaining = 0
-		}
+// removeBundle detaches an emptied bundle from its links and the active
+// set (swap-remove; seq, not position, orders the solve).
+func (r *fleetRack) removeBundle(bu *fleetBundle) {
+	bu.a.detach(bu)
+	bu.b.detach(bu)
+	last := len(r.all) - 1
+	if bu.allIdx != last {
+		moved := r.all[last]
+		r.all[bu.allIdx] = moved
+		moved.allIdx = bu.allIdx
 	}
-	f.lastUpd = now
+	r.all[last] = nil
+	r.all = r.all[:last]
 }
 
-// rearm replaces the completion timer to match the current rate.
-func (f *fleetFlow) rearm(now int64) {
-	if f.timerSet {
-		f.rack.env.Cancel(f.timer)
-		f.timerSet = false
+// rearm replaces the completion timer to match the current rate and
+// head member. Call only with the anchor at now.
+func (bu *fleetBundle) rearm(now int64) {
+	if bu.timerSet {
+		bu.rack.env.Cancel(bu.timer)
+		bu.timerSet = false
 	}
-	if f.rate <= 0 {
+	if bu.rate <= 0 || len(bu.members) == 0 {
 		return
 	}
-	ns := math.Ceil(f.remaining / f.rate * 1e9)
-	f.timer = f.rack.env.At(time.Duration(now)+time.Duration(ns), f.finishFn)
-	f.timerSet = true
+	ns := math.Ceil((bu.members[0].tag - bu.anchorS) / bu.rate * 1e9)
+	if ns < 0 {
+		ns = 0
+	}
+	bu.timer = bu.rack.env.At(time.Duration(now)+time.Duration(ns), bu.finishFn)
+	bu.timerSet = true
 }
 
-// finish runs as a callback timer when the flow's last byte drains.
-func (f *fleetFlow) finish() {
-	f.timerSet = false
-	r := f.rack
+// finish runs as a callback timer when the head member's last byte
+// drains: pop it, re-solve the affected component (the bundle lost one
+// unit of multiplicity — or disappeared), then deliver the completion.
+func (bu *fleetBundle) finish() {
+	bu.timerSet = false
+	r := bu.rack
 	now := int64(r.env.Now())
-	for i, g := range r.flows {
-		if g == f {
-			r.flows = append(r.flows[:i], r.flows[i+1:]...)
-			break
+	fn := bu.popHead()
+	if len(bu.members) == 0 {
+		r.removeBundle(bu)
+		r.resolveAffected(now, bu.a, bu.b)
+		bu.a, bu.b = nil, nil
+		r.pool = append(r.pool, bu)
+	} else {
+		r.resolveAffected(now, bu.a, bu.b)
+	}
+	fn()
+}
+
+// resolveAffected re-solves the connected component(s) of the
+// bundle/link graph reachable from the seed links — the only bundles
+// whose max-min shares a rate event at those links can change (shares
+// decompose over connected components; see Network.resolveAffected and
+// DESIGN.md). Collected bundles are ordered by creation seq so the
+// bottleneck scan tie-breaks identically to a full re-solve.
+func (r *fleetRack) resolveAffected(now int64, seeds ...*fleetLink) {
+	if r.ref {
+		r.refScratch = append(r.refScratch[:0], r.all...)
+		sortBundlesBySeq(r.refScratch)
+		r.solve(now, r.refScratch)
+		return
+	}
+	r.compGen++
+	gen := r.compGen
+	r.compLinks = r.compLinks[:0]
+	r.compBundles = r.compBundles[:0]
+	for _, l := range seeds {
+		if l.compGen != gen {
+			l.compGen = gen
+			r.compLinks = append(r.compLinks, l)
 		}
 	}
-	r.resolve(now)
-	done := f.done
-	f.done = nil
-	r.pool = append(r.pool, f)
-	done()
+	for i := 0; i < len(r.compLinks); i++ {
+		l := r.compLinks[i]
+		for bu := l.head; bu != nil; bu = bu.nextOn(l) {
+			if bu.compGen == gen {
+				continue
+			}
+			bu.compGen = gen
+			r.compBundles = append(r.compBundles, bu)
+			for _, o := range [2]*fleetLink{bu.a, bu.b} {
+				if o.compGen != gen {
+					o.compGen = gen
+					r.compLinks = append(r.compLinks, o)
+				}
+			}
+		}
+	}
+	sortBundlesBySeq(r.compBundles)
+	r.solve(now, r.compBundles)
 }
 
-// resolve recomputes the rack's max-min fair shares by water filling —
-// the same algorithm as Network.resolveFlows, over the rack's own links
-// only. Gen-stamped scratch means idle links cost nothing; the scratch
-// slice is shared across every interface in the rack.
-func (r *fleetRack) resolve(now int64) {
+// solve water-fills max-min fair shares over the given bundles — the
+// same algorithm as Network.solve with per-bundle multiplicity: a
+// bundle counts len(members) flows on each of its links and its frozen
+// share is the per-member rate. Gen-stamped scratch means untouched
+// links cost nothing; timers re-arm only for bundles whose rate (or
+// head member) changed.
+func (r *fleetRack) solve(now int64, bundles []*fleetBundle) {
 	r.resolves++
-	if len(r.flows) == 0 {
+	if len(bundles) == 0 {
 		return
 	}
 	r.gen++
 	gen := r.gen
 	r.scratch = r.scratch[:0]
-	for _, f := range r.flows {
-		f.advance(now)
-		f.prevRate = f.rate
-		f.frozen = false
-		for _, l := range [2]*fleetLink{f.a, f.b} {
+	for _, bu := range bundles {
+		bu.prevRate = bu.rate
+		bu.frozen = false
+		for _, l := range [2]*fleetLink{bu.a, bu.b} {
 			if l.gen != gen {
 				l.gen = gen
 				l.remCap = l.cap
 				l.nflows = 0
 				r.scratch = append(r.scratch, l)
 			}
-			l.nflows++
+			l.nflows += len(bu.members)
 		}
 	}
-	unfrozen := len(r.flows)
+	r.linksTouched += int64(len(r.scratch))
+	unfrozen := len(bundles)
 	for unfrozen > 0 {
 		var bottleneck *fleetLink
 		share := math.Inf(1)
@@ -430,27 +697,84 @@ func (r *fleetRack) resolve(now int64) {
 		if bottleneck == nil {
 			break
 		}
-		for _, f := range r.flows {
-			if f.frozen || (f.a != bottleneck && f.b != bottleneck) {
+		for _, bu := range bundles {
+			if bu.frozen || (bu.a != bottleneck && bu.b != bottleneck) {
 				continue
 			}
-			f.frozen = true
-			f.rate = share
+			bu.frozen = true
+			bu.rate = share
 			unfrozen--
-			for _, l := range [2]*fleetLink{f.a, f.b} {
-				l.remCap -= share
+			k := len(bu.members)
+			for _, l := range [2]*fleetLink{bu.a, bu.b} {
+				l.remCap -= share * float64(k)
 				if l.remCap < 0 {
 					l.remCap = 0
 				}
-				l.nflows--
+				l.nflows -= k
 			}
 		}
 	}
-	for _, f := range r.flows {
-		if f.timerSet && f.rate == f.prevRate {
+	for _, bu := range bundles {
+		if bu.timerSet && bu.rate == bu.prevRate {
 			continue
 		}
-		f.rearm(now)
+		bu.advanceAnchor(now, bu.prevRate)
+		bu.rearm(now)
+	}
+}
+
+// sortBundlesBySeq orders bundles by creation sequence in place
+// (heapsort: zero allocations, O(n log n) worst case). seq values are
+// unique per rack, so the order is total and deterministic.
+func sortBundlesBySeq(bs []*fleetBundle) {
+	n := len(bs)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftBundleSeq(bs, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		bs[0], bs[i] = bs[i], bs[0]
+		siftBundleSeq(bs, 0, i)
+	}
+}
+
+func siftBundleSeq(bs []*fleetBundle, i, n int) {
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && bs[c+1].seq > bs[c].seq {
+			c++
+		}
+		if bs[i].seq >= bs[c].seq {
+			return
+		}
+		bs[i], bs[c] = bs[c], bs[i]
+		i = c
+	}
+}
+
+// SetReferenceSolver switches every rack between the incremental
+// component-limited solver (default) and the reference full re-solve
+// that recomputes all bundles on every rate event. The two produce
+// identical rates and completion times — the reference exists for
+// randomized differential tests and A/B benchmarks; it is O(active
+// bundles) per event and collapses under overload.
+func (fl *Fleet) SetReferenceSolver(on bool) {
+	for _, r := range fl.racks {
+		r.ref = on
+	}
+}
+
+// SetBundling disables (or re-enables) same-(src,dst) leg aggregation:
+// with bundling off every leg is its own singleton solver entity, which
+// restores the pre-bundle processor-sharing completion order and the
+// O(outstanding legs) working set. Combined with SetReferenceSolver it
+// reproduces the old full-re-solve engine as an overload-benchmark
+// baseline. Call it before injecting traffic; it is not a mid-run knob.
+func (fl *Fleet) SetBundling(on bool) {
+	for _, r := range fl.racks {
+		r.noBundle = !on
 	}
 }
 
@@ -460,10 +784,15 @@ type FleetStats struct {
 	BytesSent     int64
 	BytesReceived int64
 	Flows         int64
-	Resolves      int64
-	Windows       int64
-	Messages      int64
-	Events        int64
+	// Resolves counts solver invocations; LinksTouched the links those
+	// invocations water-filled. LinksTouched/Resolves is the O(affected)
+	// figure: constant-bounded when concurrent flows share no links,
+	// regardless of how many are active.
+	Resolves     int64
+	LinksTouched int64
+	Windows      int64
+	Messages     int64
+	Events       int64
 }
 
 // Stats sums the per-rack counters and the shard group's window/event
@@ -475,6 +804,7 @@ func (fl *Fleet) Stats() FleetStats {
 		s.BytesReceived += r.recv
 		s.Flows += r.started
 		s.Resolves += r.resolves
+		s.LinksTouched += r.linksTouched
 	}
 	s.Windows = fl.group.Windows()
 	s.Messages = fl.group.Messages()

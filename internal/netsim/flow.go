@@ -4,8 +4,12 @@ package netsim
 // packet-train pipes (one Reserve+Sleep per chunk), a Flow claims a
 // max-min fair share of the sender-egress and receiver-ingress NICs and
 // computes its completion time analytically. The share solver re-runs
-// only when a flow starts, ends, or a node fails, so a transfer costs
-// O(flow transitions) callback timers instead of O(bytes/chunk) events.
+// only when a flow starts, ends, or a node fails, and each re-solve is
+// incremental: max-min shares decompose over connected components of
+// the flow/link graph, so only the component containing the event's
+// links is water-filled (see DESIGN.md "Incremental flow solver"). A
+// transfer therefore costs O(flow transitions x its component), not
+// O(bytes/chunk) events or O(all flows) solver work.
 //
 // Model notes:
 //   - Flow capacity is the NIC bandwidth shared among *flows only*;
@@ -30,15 +34,43 @@ import (
 
 // flowLink is one direction of one NIC as seen by the flow solver.
 // remCap/nflows are water-filling scratch, valid only while gen matches
-// the network's current solve generation.
+// the network's current solve generation. head anchors the intrusive
+// list of draining flows crossing the link (membership only — the
+// solver orders flows by arrival seq, not list position), and compGen
+// marks links already visited by the current component BFS.
 type flowLink struct {
-	cap    float64
-	gen    uint64
-	remCap float64
-	nflows int
-	// abortGen marks links touched by the current abortFlows sweep so the
-	// survivor scan can test membership without allocating a set.
-	abortGen uint64
+	cap     float64
+	gen     uint64
+	remCap  float64
+	nflows  int
+	compGen uint64
+	head    *Flow
+}
+
+// attach prepends f to the link's draining-flow list.
+func (l *flowLink) attach(f *Flow) {
+	n := l.head
+	l.head = f
+	f.setPrev(l, nil)
+	f.setNext(l, n)
+	if n != nil {
+		n.setPrev(l, f)
+	}
+}
+
+// detach unlinks f from the link's draining-flow list.
+func (l *flowLink) detach(f *Flow) {
+	p, n := f.prevOn(l), f.nextOn(l)
+	if p != nil {
+		p.setNext(l, n)
+	} else {
+		l.head = n
+	}
+	if n != nil {
+		n.setPrev(l, p)
+	}
+	f.setPrev(l, nil)
+	f.setNext(l, nil)
 }
 
 func (f *iface) flowLinks(prof Profile, legacy bool) (eg, in *flowLink) {
@@ -71,8 +103,16 @@ type Flow struct {
 	remaining float64 // bytes still to deliver in the current Write
 	rate      float64 // current fair-share rate, bytes/sec
 	prevRate  float64 // rate before the current re-solve (re-arm skip)
-	lastUpd   int64   // virtual ns of the last progress accounting
+	lastUpd   int64   // virtual ns of the last rate change (progress anchor)
 	frozen    bool    // water-filling scratch
+
+	// Intrusive membership in eg's and in's draining-flow lists, plus
+	// the arrival sequence that fixes solver iteration order and the
+	// BFS visit mark.
+	egNext, egPrev *Flow
+	inNext, inPrev *Flow
+	seq            uint64
+	compGen        uint64
 
 	timer    sim.Timer
 	timerSet bool
@@ -80,6 +120,39 @@ type Flow struct {
 	drained  sim.Signal // wakes the blocked writer, allocation-free
 	err      error      // sticky abort error (ErrNodeDown)
 	closed   bool
+}
+
+// nextOn/prevOn/setNext/setPrev address the intrusive list slot for
+// whichever of the flow's two links l is. eg and in are always distinct
+// (loopback writes never enter the solver).
+func (f *Flow) nextOn(l *flowLink) *Flow {
+	if l == f.eg {
+		return f.egNext
+	}
+	return f.inNext
+}
+
+func (f *Flow) prevOn(l *flowLink) *Flow {
+	if l == f.eg {
+		return f.egPrev
+	}
+	return f.inPrev
+}
+
+func (f *Flow) setNext(l *flowLink, g *Flow) {
+	if l == f.eg {
+		f.egNext = g
+	} else {
+		f.inNext = g
+	}
+}
+
+func (f *Flow) setPrev(l *flowLink, g *Flow) {
+	if l == f.eg {
+		f.egPrev = g
+	} else {
+		f.inPrev = g
+	}
 }
 
 // StartFlow opens a flow session from src to dst on the native
@@ -146,8 +219,13 @@ func (f *Flow) Write(p *sim.Proc, n int64) error {
 	f.lastUpd = now
 	f.remaining = float64(n)
 	f.rate = 0
+	f.prevRate = 0
+	nw.flowSeq++
+	f.seq = nw.flowSeq
 	nw.flows = append(nw.flows, f)
-	nw.resolveFlows(now)
+	f.eg.attach(f)
+	f.in.attach(f)
+	nw.resolveAffected(now, f.eg, f.in)
 	f.drained.Wait(p)
 	if f.err != nil {
 		return f.err
@@ -164,10 +242,14 @@ func (f *Flow) Close(p *sim.Proc) error {
 	return f.err
 }
 
-// advance books the bytes transmitted since the last accounting.
-func (f *Flow) advance(now int64) {
-	if dt := now - f.lastUpd; dt > 0 && f.rate > 0 {
-		f.remaining -= f.rate * float64(dt) / 1e9
+// advanceAt books the bytes transmitted at the given rate since the last
+// anchor. Progress is only booked when a flow's rate changes (or it is
+// aborted) — between rate changes the armed completion timer is already
+// exact — so `remaining` is a function of the rate-change instants alone,
+// independent of how many re-solves other components ran in between.
+func (f *Flow) advanceAt(now int64, rate float64) {
+	if dt := now - f.lastUpd; dt > 0 && rate > 0 {
+		f.remaining -= rate * float64(dt) / 1e9
 		if f.remaining < 0 {
 			f.remaining = 0
 		}
@@ -198,8 +280,10 @@ func (f *Flow) finish() {
 	f.lastUpd = now
 	f.remaining = 0
 	f.rate = 0
+	f.eg.detach(f)
+	f.in.detach(f)
 	f.nw.deactivate(f)
-	f.nw.resolveFlows(now)
+	f.nw.resolveAffected(now, f.eg, f.in)
 	f.drained.Fire()
 }
 
@@ -212,24 +296,75 @@ func (nw *Network) deactivate(f *Flow) {
 	}
 }
 
-// resolveFlows recomputes every draining flow's max-min fair share by
-// water filling — repeatedly freeze the flows crossing the tightest link
-// at that link's equal share — then re-arms completion timers. It runs
-// only on flow transitions (Write arrival, completion, node failure), so
-// its O(flows x links) cost replaces per-chunk event dispatch. All state
-// it touches is mutated on the scheduler goroutine only, keeping runs
-// bit-reproducible regardless of GOMAXPROCS.
-func (nw *Network) resolveFlows(now int64) {
+// resolveAffected re-solves the connected component(s) of the flow/link
+// graph reachable from the seed links. Max-min shares decompose over
+// connected components — a rate event (arrival, completion, abort) can
+// only change shares inside the component its links belong to — so the
+// BFS-collected subset water-fills to exactly the rates a full re-solve
+// would assign, and every flow outside it keeps its rate and armed
+// timer. The collected flows are ordered by arrival seq, so within the
+// component the bottleneck scan sees links in the same first-appearance
+// order as the full solver and tie-breaks identically.
+func (nw *Network) resolveAffected(now int64, seeds ...*flowLink) {
+	if nw.refSolver {
+		nw.solve(now, nw.flows)
+		return
+	}
+	nw.compGen++
+	gen := nw.compGen
+	nw.compLinks = nw.compLinks[:0]
+	nw.compFlows = nw.compFlows[:0]
+	for _, l := range seeds {
+		if l.compGen != gen {
+			l.compGen = gen
+			nw.compLinks = append(nw.compLinks, l)
+		}
+	}
+	nw.collectComponent(gen)
+	sortFlowsBySeq(nw.compFlows)
+	nw.solve(now, nw.compFlows)
+}
+
+// collectComponent expands the BFS frontier in compLinks across the
+// intrusive per-link flow lists, gathering every transitively connected
+// flow into compFlows.
+func (nw *Network) collectComponent(gen uint64) {
+	for i := 0; i < len(nw.compLinks); i++ {
+		l := nw.compLinks[i]
+		for f := l.head; f != nil; f = f.nextOn(l) {
+			if f.compGen == gen {
+				continue
+			}
+			f.compGen = gen
+			nw.compFlows = append(nw.compFlows, f)
+			for _, o := range [2]*flowLink{f.eg, f.in} {
+				if o.compGen != gen {
+					o.compGen = gen
+					nw.compLinks = append(nw.compLinks, o)
+				}
+			}
+		}
+	}
+}
+
+// solve recomputes the given flows' max-min fair shares by water filling
+// — repeatedly freeze the flows crossing the tightest link at that
+// link's equal share — then re-arms completion timers for the flows
+// whose rate changed. It runs only on flow transitions (Write arrival,
+// completion, node failure) over the affected component, so its cost is
+// O(component x its links). All state it touches is mutated on the
+// scheduler goroutine only, keeping runs bit-reproducible regardless of
+// GOMAXPROCS.
+func (nw *Network) solve(now int64, flows []*Flow) {
 	nw.flowResolves.Inc()
 	nw.flowActive.Observe(float64(len(nw.flows)))
-	if len(nw.flows) == 0 {
+	if len(flows) == 0 {
 		return
 	}
 	nw.solveGen++
 	gen := nw.solveGen
 	nw.linkScratch = nw.linkScratch[:0]
-	for _, f := range nw.flows {
-		f.advance(now)
+	for _, f := range flows {
 		f.prevRate = f.rate
 		f.frozen = false
 		for _, l := range [2]*flowLink{f.eg, f.in} {
@@ -242,7 +377,7 @@ func (nw *Network) resolveFlows(now int64) {
 			l.nflows++
 		}
 	}
-	unfrozen := len(nw.flows)
+	unfrozen := len(flows)
 	for unfrozen > 0 {
 		var bottleneck *flowLink
 		share := math.Inf(1)
@@ -259,7 +394,7 @@ func (nw *Network) resolveFlows(now int64) {
 		if bottleneck == nil {
 			break
 		}
-		for _, f := range nw.flows {
+		for _, f := range flows {
 			if f.frozen || (f.eg != bottleneck && f.in != bottleneck) {
 				continue
 			}
@@ -275,15 +410,47 @@ func (nw *Network) resolveFlows(now int64) {
 			}
 		}
 	}
-	for _, f := range nw.flows {
-		// A flow whose share didn't change keeps its timer: the armed
-		// completion instant is still exact, and skipping the
-		// cancel+insert pair keeps steady states O(changed flows) in
-		// heap work instead of O(all flows).
+	for _, f := range flows {
+		// A flow whose share didn't change keeps its timer and its
+		// progress anchor: the armed completion instant is still exact,
+		// and skipping the cancel+insert pair keeps steady states
+		// O(changed flows) in heap work instead of O(all flows).
 		if f.timerSet && f.rate == f.prevRate {
 			continue
 		}
+		f.advanceAt(now, f.prevRate)
 		f.rearm(now)
+	}
+}
+
+// sortFlowsBySeq orders flows by arrival sequence in place (heapsort:
+// zero allocations, O(n log n) worst case). seq values are unique, so
+// the order is total and deterministic.
+func sortFlowsBySeq(fs []*Flow) {
+	n := len(fs)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftFlowSeq(fs, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		fs[0], fs[i] = fs[i], fs[0]
+		siftFlowSeq(fs, 0, i)
+	}
+}
+
+func siftFlowSeq(fs []*Flow, i, n int) {
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && fs[c+1].seq > fs[c].seq {
+			c++
+		}
+		if fs[i].seq >= fs[c].seq {
+			return
+		}
+		fs[i], fs[c] = fs[c], fs[i]
+		i = c
 	}
 }
 
@@ -301,42 +468,54 @@ func (nw *Network) abortFlows(id NodeID) {
 		return
 	}
 	now := int64(nw.env.Now())
-	nw.abortGen++
 	var hit []*Flow
 	for _, f := range nw.flows {
 		if f.src == id || f.dst == id {
 			hit = append(hit, f)
-			f.eg.abortGen = nw.abortGen
-			f.in.abortGen = nw.abortGen
 		}
 	}
 	if len(hit) == 0 {
 		return
 	}
 	for _, f := range hit {
-		f.advance(now)
+		f.advanceAt(now, f.rate)
 		f.err = fmt.Errorf("%w: node %d failed mid-flow", ErrNodeDown, id)
 		if f.timerSet {
 			nw.env.Cancel(f.timer)
 			f.timerSet = false
 		}
 		f.rate = 0
+		f.eg.detach(f)
+		f.in.detach(f)
 		nw.deactivate(f)
 		nw.flowAborts.Inc()
 	}
-	// One shared link is enough to force a re-solve: freed capacity can
-	// cascade through transitively shared links, so a partial re-solve of
-	// "directly affected" flows alone would be wrong. Disjointness of ALL
-	// survivors is the only safe skip.
-	affected := false
-	for _, f := range nw.flows {
-		if f.eg.abortGen == nw.abortGen || f.in.abortGen == nw.abortGen {
-			affected = true
-			break
+	// One re-solve over the union of components the casualties touched:
+	// freed capacity can cascade through transitively shared links, so
+	// the BFS from every aborted flow's links collects exactly the
+	// survivors whose shares can change. Survivors in other components
+	// keep their rates and armed timers untouched; if no survivor shares
+	// a component the solve (and its counter) is skipped entirely.
+	nw.compGen++
+	gen := nw.compGen
+	nw.compLinks = nw.compLinks[:0]
+	nw.compFlows = nw.compFlows[:0]
+	for _, f := range hit {
+		for _, l := range [2]*flowLink{f.eg, f.in} {
+			if l.compGen != gen {
+				l.compGen = gen
+				nw.compLinks = append(nw.compLinks, l)
+			}
 		}
 	}
-	if affected || len(nw.flows) == 0 {
-		nw.resolveFlows(now)
+	nw.collectComponent(gen)
+	if len(nw.compFlows) > 0 || len(nw.flows) == 0 {
+		if nw.refSolver {
+			nw.solve(now, nw.flows)
+		} else {
+			sortFlowsBySeq(nw.compFlows)
+			nw.solve(now, nw.compFlows)
+		}
 	}
 	for _, f := range hit {
 		f.drained.Fire()

@@ -116,11 +116,18 @@ type Network struct {
 
 	// Flow fast-path state (see flow.go). flows holds the currently
 	// draining flows in arrival order — the solver's deterministic
-	// iteration order.
+	// iteration order. The incremental solver re-solves only the
+	// connected component of links reachable from a rate event;
+	// compFlows/compLinks are its reusable BFS scratch and refSolver
+	// restores the full re-solve (test hook for differential checking).
 	flows       []*Flow
 	linkScratch []*flowLink
 	solveGen    uint64
-	abortGen    uint64
+	flowSeq     uint64
+	compGen     uint64
+	compFlows   []*Flow
+	compLinks   []*flowLink
+	refSolver   bool
 	flowBulk    bool
 	// flowPool recycles one-shot wrapper flows (see putFlow).
 	flowPool []*Flow

@@ -63,6 +63,12 @@ type Config struct {
 	// FixedRate replaces exponential inter-arrivals with a fixed period
 	// per client (random phase), for closed-form offered load.
 	FixedRate bool
+	// MaxInflight, when positive, is the per-rack admission cap: a tick's
+	// batches are shed (counted, not injected) while the rack's
+	// outstanding-request count is at or above the bound. It keeps
+	// open-loop overload runs bounded — offered load beyond capacity
+	// otherwise queues without limit.
+	MaxInflight int64
 	// Seed derives every per-rack generator stream.
 	Seed int64
 }
@@ -101,6 +107,9 @@ func (c Config) Validate() error {
 	}
 	if c.Duration < 0 {
 		return fmt.Errorf("swarm: Duration must be positive, got %v", c.Duration)
+	}
+	if c.MaxInflight < 0 {
+		return fmt.Errorf("swarm: MaxInflight must be positive (or 0 for unbounded), got %d", c.MaxInflight)
 	}
 	return nil
 }
@@ -192,6 +201,7 @@ type rackGen struct {
 	flows     int64
 	bytesSent int64
 	completed int64
+	shed      int64
 	inflight  int64
 	maxInfl   int64
 	hist      *metrics.Histogram
@@ -401,7 +411,10 @@ func (g *rackGen) advance(now int64) int64 {
 
 // flush injects one batched flow per destination rack touched since the
 // last flush and folds the tick into the rack's trace hash. The batch
-// records and their completion closures are pooled.
+// records and their completion closures are pooled. With MaxInflight
+// set, batches arriving while the rack is at the cap are shed: counted
+// and folded (the trace records the offered load either way), but never
+// injected.
 func (g *rackGen) flush(now int64) {
 	if len(g.touched) == 0 {
 		return
@@ -409,9 +422,15 @@ func (g *rackGen) flush(now int64) {
 	topo := g.sw.fl.Topology()
 	per := topo.NodesPerRack
 	srcBase := g.id * per
+	maxInfl := g.sw.cfg.MaxInflight
 	for _, dRack := range g.touched {
 		bytes, reqs := g.bytes[dRack], g.reqs[dRack]
 		g.bytes[dRack], g.reqs[dRack] = 0, 0
+		g.fold(uint64(now), uint64(dRack), uint64(bytes), uint64(reqs))
+		if maxInfl > 0 && g.inflight >= maxInfl {
+			g.shed += reqs
+			continue
+		}
 		var b *batch
 		if k := len(g.pool) - 1; k >= 0 {
 			b = g.pool[k]
@@ -432,7 +451,6 @@ func (g *rackGen) flush(now int64) {
 		if g.inflight > g.maxInfl {
 			g.maxInfl = g.inflight
 		}
-		g.fold(uint64(now), uint64(dRack), uint64(bytes), uint64(reqs))
 		if err := g.sw.fl.StartTransfer(src, dst, bytes, b.doneFn); err != nil {
 			panic(err)
 		}
@@ -475,10 +493,12 @@ type Stats struct {
 	Clients int
 	// Arrivals is the number of requests generated; Flows the batched
 	// flow injections that carried them; Completed the requests whose
-	// payload fully landed.
+	// payload fully landed; Shed the requests dropped at the MaxInflight
+	// admission cap (never injected).
 	Arrivals  int64
 	Flows     int64
 	Completed int64
+	Shed      int64
 	BytesSent int64
 	// AchievedQPS is Arrivals over the generation horizon.
 	AchievedQPS float64
@@ -493,6 +513,7 @@ func (s *Swarm) Stats() Stats {
 		st.Arrivals += g.arrivals
 		st.Flows += g.flows
 		st.Completed += g.completed
+		st.Shed += g.shed
 		st.BytesSent += g.bytesSent
 		if g.maxInfl > st.MaxInflight {
 			st.MaxInflight = g.maxInfl
@@ -525,6 +546,7 @@ func (s *Swarm) FillMetrics(reg *metrics.Registry) {
 	reg.Counter("swarm.arrivals").Add(st.Arrivals)
 	reg.Counter("swarm.flows").Add(st.Flows)
 	reg.Counter("swarm.completed").Add(st.Completed)
+	reg.Counter("swarm.shed").Add(st.Shed)
 	reg.Counter("swarm.bytes.sent").Add(st.BytesSent)
 	reg.Counter("swarm.qps.achieved").Add(int64(st.AchievedQPS))
 	infl := reg.Histogram("swarm.inflight")

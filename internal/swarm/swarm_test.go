@@ -45,6 +45,7 @@ func TestConfigValidate(t *testing.T) {
 		{"negative keys", func(c *Config) { c.Keys = -1 }, "Keys"},
 		{"negative request bytes", func(c *Config) { c.RequestBytes = -1 }, "RequestBytes"},
 		{"negative duration", func(c *Config) { c.Duration = -time.Second }, "Duration"},
+		{"negative max inflight", func(c *Config) { c.MaxInflight = -1 }, "MaxInflight"},
 	} {
 		cfg := valid
 		tc.mut(&cfg)
@@ -96,6 +97,51 @@ func TestSwarmDeterminismAcrossShards(t *testing.T) {
 		if st != base {
 			t.Errorf("shards=%d stats %+v, want %+v", shards, st, base)
 		}
+	}
+}
+
+func TestSwarmMaxInflightSheds(t *testing.T) {
+	// Offered load far beyond capacity with an admission cap: the swarm
+	// must shed (arrivals = completed + shed, nothing lost), hold peak
+	// inflight near the bound, and stay shard-count invariant while
+	// shedding. Without the cap the same load queues far past it.
+	cfg := Config{Clients: 2000, TargetQPS: 2e6, Zipf: 1.3,
+		RequestBytes: 256 << 10, Duration: 5 * time.Millisecond,
+		MaxInflight: 200, Seed: 5}
+	var baseFP uint64
+	var base Stats
+	for i, shards := range []int{1, 3, 6} {
+		s, st := runSwarm(t, shards, cfg)
+		if i == 0 {
+			baseFP, base = s.Fingerprint(), st
+			if st.Shed == 0 {
+				t.Fatal("overloaded capped swarm shed nothing")
+			}
+			if st.Completed+st.Shed != st.Arrivals {
+				t.Errorf("arrivals %d != completed %d + shed %d", st.Arrivals, st.Completed, st.Shed)
+			}
+			// A tick's batches are admitted while inflight < cap, so the
+			// overshoot is bounded by one tick's arrivals per rack.
+			if limit := cfg.MaxInflight * 4; st.MaxInflight > limit {
+				t.Errorf("peak inflight %d far exceeds cap %d", st.MaxInflight, cfg.MaxInflight)
+			}
+			continue
+		}
+		if fp := s.Fingerprint(); fp != baseFP {
+			t.Errorf("shards=%d fingerprint %x, want %x", shards, fp, baseFP)
+		}
+		if st != base {
+			t.Errorf("shards=%d stats %+v, want %+v", shards, st, base)
+		}
+	}
+	uncapped := cfg
+	uncapped.MaxInflight = 0
+	_, st := runSwarm(t, 2, uncapped)
+	if st.Shed != 0 {
+		t.Errorf("uncapped swarm shed %d requests", st.Shed)
+	}
+	if st.MaxInflight < 2*base.MaxInflight {
+		t.Errorf("uncapped peak inflight %d not well above capped peak %d", st.MaxInflight, base.MaxInflight)
 	}
 }
 

@@ -118,6 +118,11 @@ func TestSwarmOptionsValidation(t *testing.T) {
 			opts: func() Options { o := swarmOpts(1); o.Swarm.Clients = -1; return o }(),
 			want: "Clients",
 		},
+		{
+			name: "negative max inflight",
+			opts: func() Options { o := swarmOpts(1); o.Swarm.MaxInflight = -1; return o }(),
+			want: "MaxInflight",
+		},
 	} {
 		_, err := NewFleet(tc.opts)
 		if err == nil {
