@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test vet race bench bench-smoke bench-kernel bench-dataplane bench-netsim bench-orchestration bench-fleet bench-swarm golden stress repro tools clean
+.PHONY: all test vet race bench bench-smoke bench-kernel bench-dataplane bench-netsim bench-orchestration bench-fleet bench-swarm bench-cluster golden stress repro tools clean
 
 all: test
 
@@ -16,18 +16,16 @@ race:
 	go test -race ./...
 
 # Full micro-benchmark suite with allocation stats, summarized to
-# BENCH_9.json (incremental-solver PR: SwarmOverload is the headline —
-# the 20x-oversubscribed swarm on the incremental component-limited
-# solver vs the old full-re-solve per-leg engine, >=10x req/wall-s;
-# FleetResolveTouched pins links-touched per rate event ~constant on
-# disjoint flows; SwarmMillion must hold its B-heap/client and
-# events/req figures). The -benchtime 1x smokes run via
-# bench-fleet/bench-swarm; this target excludes them to keep the
-# full-suite wall time bounded.
+# BENCH_10.json (serving-cluster PR: ClusterZipf is the headline — a
+# zipf(1.1) read stream over 2^20 keys against 3 real-socket servers,
+# FrontCacheSpread must sustain >= 2x SinglePrimary req/s with the
+# front-cache hit rate and shed fraction reported alongside). The
+# -benchtime 1x smokes run via bench-fleet/bench-swarm; this target
+# excludes them to keep the full-suite wall time bounded.
 bench: tools
 	go test -run '^$$' -bench . -benchmem -skip 'FleetDFSIO10k|SwarmMillion|SwarmOverload' ./... > bench.out || (cat bench.out; rm -f bench.out; exit 1)
 	go test -run '^$$' -bench 'FleetDFSIO10k|SwarmMillion|SwarmOverload' -benchtime 1x . >> bench.out || (cat bench.out; rm -f bench.out; exit 1)
-	./bin/benchjson -out BENCH_9.json -note "host: $$(nproc) CPU core(s); incremental-solver PR — SwarmOverload drives the 20x-oversubscribed open-loop swarm on the incremental bundled solver vs the old full-re-solve per-leg baseline (req/wall-s, links/op), FleetResolveTouched holds links-touched per rate event constant on link-disjoint flows, SwarmMillion (10^6 clients x 100 QPS, 4-way-sharded) must match BENCH_8's B-heap/client and events/req; everything else must match BENCH_8" < bench.out
+	./bin/benchjson -out BENCH_10.json -note "host: $$(nproc) CPU core(s); serving-cluster PR — ClusterZipf A/Bs hot-key-blind single-primary placement against the replicated cluster client (space-saver hot-key detection, front cache, replica read spreading, admission control) over real loopback sockets: FrontCacheSpread must hold >= 2x SinglePrimary req/s (hit% and shed% reported); sim-side numbers must match BENCH_9" < bench.out
 	rm -f bench.out
 
 # One-iteration benchmark pass: proves every benchmark still compiles and
@@ -73,6 +71,16 @@ bench-swarm:
 	go test -run '^$$' -bench 'FleetResolveTouched' -benchmem ./internal/netsim/
 	go test -run '^$$' -bench 'SwarmShardSpeedup' -benchmem .
 	go test -run '^$$' -bench 'Tab9SwarmScaling|SwarmMillion|SwarmOverload' -benchmem -benchtime 1x -timeout 20m .
+
+# Replicated serving-cluster benchmarks: the ClusterZipf placement A/B
+# (single-primary vs front cache + read spreading over real sockets, 2s
+# per variant for stable req/s) plus the hot-path micros (front-cache
+# get, space-saver offer), summarized to BENCH_10.json.
+bench-cluster: tools
+	go test -run '^$$' -bench 'ClusterZipf' -benchtime 2s ./internal/memcached/mccluster/ > bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	go test -run '^$$' -bench 'FrontCacheGet|SpaceSaverOffer' -benchmem ./internal/memcached/mccluster/ >> bench.out || (cat bench.out; rm -f bench.out; exit 1)
+	./bin/benchjson -out BENCH_10.json -note "host: $$(nproc) CPU core(s); serving-cluster PR headline — ClusterZipf (zipf 1.1, 2^20 keys, 3 servers, R=2, real loopback sockets): FrontCacheSpread must sustain >= 2x SinglePrimary req/s, front-cache hit% and admission shed% reported per variant; FrontCacheGet/SpaceSaverOffer price the per-get hot path" < bench.out
+	rm -f bench.out
 
 # Golden determinism suite: seed schemes, flow streaming, coalescing, and
 # the multi-job orchestration fingerprint must match their recorded values.

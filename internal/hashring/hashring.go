@@ -138,6 +138,43 @@ func (r *Ring) Group(keys []string) map[string][]string {
 	return out
 }
 
+// GroupN partitions keys by replica set: each key is assigned to its
+// primary plus the next n-1 distinct successors on the ring (the same set
+// GetN returns), and the result maps every node to the keys it replicates,
+// preserving input order within each node's slice. It is the batching
+// front-end for replicated fan-out — the cluster client uses it to turn a
+// multi-set into one SetMulti per server, and the launcher uses it to
+// enumerate which servers must hold which keys for read repair. With n <=
+// 1 it degenerates to Group. An empty ring returns nil.
+func (r *Ring) GroupN(keys []string, n int) map[string][]string {
+	if len(r.points) == 0 || len(keys) == 0 {
+		return nil
+	}
+	if n <= 1 {
+		return r.Group(keys)
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make(map[string][]string, len(r.nodes))
+	seen := make(map[string]struct{}, n)
+	for _, k := range keys {
+		clear(seen)
+		idx := r.search(hashOf(k))
+		found := 0
+		for i := 0; found < n && i < len(r.points); i++ {
+			p := r.points[(idx+i)%len(r.points)]
+			if _, dup := seen[p.node]; dup {
+				continue
+			}
+			seen[p.node] = struct{}{}
+			out[p.node] = append(out[p.node], k)
+			found++
+		}
+	}
+	return out
+}
+
 // search finds the index of the first point with hash >= h (wrapping).
 func (r *Ring) search(h uint64) int {
 	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })

@@ -225,3 +225,64 @@ func TestGroup(t *testing.T) {
 		t.Errorf("Group(nil) = %v, want nil", g)
 	}
 }
+
+func TestGroupN(t *testing.T) {
+	r := New(64)
+	for _, n := range []string{"s1", "s2", "s3", "s4"} {
+		r.Add(n)
+	}
+	var keys []string
+	for i := 0; i < 200; i++ {
+		keys = append(keys, fmt.Sprintf("block-%d", i))
+	}
+	for _, tc := range []struct {
+		name   string
+		n      int
+		copies int // expected replicas per key
+	}{
+		{"r1-degenerates-to-group", 1, 1},
+		{"r2", 2, 2},
+		{"r3", 3, 3},
+		{"r-exceeds-nodes-clamps", 9, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			groups := r.GroupN(keys, tc.n)
+			// Each key appears under exactly the nodes GetN reports, in
+			// input order within each node's slice.
+			count := make(map[string]int)
+			member := make(map[string]map[string]bool)
+			for node, ks := range groups {
+				pos := -1
+				for _, k := range ks {
+					count[k]++
+					if member[k] == nil {
+						member[k] = make(map[string]bool)
+					}
+					member[k][node] = true
+					var idx int
+					fmt.Sscanf(k, "block-%d", &idx)
+					if idx <= pos {
+						t.Fatalf("group %s not in input order: %v", node, ks)
+					}
+					pos = idx
+				}
+			}
+			for _, k := range keys {
+				if count[k] != tc.copies {
+					t.Fatalf("key %s replicated %d times, want %d", k, count[k], tc.copies)
+				}
+				for _, node := range r.GetN(k, tc.n) {
+					if !member[k][node] {
+						t.Fatalf("key %s missing from replica %s's group", k, node)
+					}
+				}
+			}
+		})
+	}
+	if g := New(8).GroupN(keys, 2); g != nil {
+		t.Errorf("empty ring GroupN = %v, want nil", g)
+	}
+	if g := r.GroupN(nil, 2); g != nil {
+		t.Errorf("GroupN(nil) = %v, want nil", g)
+	}
+}

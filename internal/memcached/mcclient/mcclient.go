@@ -16,6 +16,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -30,16 +31,85 @@ const DefaultWindow = 128
 // ErrClosed is returned for operations on a closed client.
 var ErrClosed = errors.New("mcclient: client closed")
 
+// ConnError is the typed error for connection-level failures: the socket
+// died (or never came up) rather than the server answering with a protocol
+// status. Callers holding replicas — the cluster client — match on it to
+// retry the operation elsewhere instead of surfacing the failure.
+// Permanent is set once the client will never recover on its own: it was
+// explicitly closed, or its bounded reconnect attempts are exhausted.
+type ConnError struct {
+	Addr      string
+	Permanent bool
+	Err       error
+}
+
+// Error implements error.
+func (e *ConnError) Error() string {
+	state := "transient"
+	if e.Permanent {
+		state = "permanent"
+	}
+	return fmt.Sprintf("mcclient: connection to %s failed (%s): %v", e.Addr, state, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ConnError) Unwrap() error { return e.Err }
+
+// IsConnError reports whether err is a connection-level failure (as
+// opposed to a protocol status), meaning the operation may have never
+// reached the server and is safe to retry on a replica.
+func IsConnError(err error) bool {
+	var ce *ConnError
+	return errors.As(err, &ce)
+}
+
+// IsPermanent reports whether err is a connection failure the client will
+// not recover from by itself (closed, or reconnect attempts exhausted).
+func IsPermanent(err error) bool {
+	var ce *ConnError
+	return errors.As(err, &ce) && ce.Permanent
+}
+
+// ReconnectPolicy bounds the transparent reconnect a client performs after
+// an established connection drops. Zero MaxAttempts disables reconnect
+// (the pre-reconnect sticky-error behaviour).
+type ReconnectPolicy struct {
+	// MaxAttempts caps redial attempts per outage; when exhausted the
+	// client fails permanently.
+	MaxAttempts int
+	// BaseDelay is the first backoff step (default 10ms). Each attempt
+	// doubles it, jittered uniformly in [0.5d, 1.5d).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff step (default 1s).
+	MaxDelay time.Duration
+}
+
+func (p ReconnectPolicy) withDefaults() ReconnectPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	return p
+}
+
 // Client is a connection to one memcached server.
 type Client struct {
-	conn   net.Conn
 	window chan struct{} // in-flight slots; held by the issuing goroutine
 
-	wmu     sync.Mutex // guards w, opaque, pending, err
+	addr   string        // redial target; "" when built from NewClient
+	dialTO time.Duration // per-attempt dial timeout
+	policy ReconnectPolicy
+
+	wmu     sync.Mutex // guards conn, w, gen, opaque, pending, err, closed
+	conn    net.Conn
 	w       *bufio.Writer
+	gen     int // connection generation; stale failures are ignored
 	opaque  uint32
 	pending map[uint32]*call
-	err     error // sticky; set on first connection-level failure
+	err     error // sticky per outage; cleared on successful reconnect
+	closed  bool  // explicit Close: never reconnect again
 }
 
 // call is one expected response (or response stream) keyed by opaque.
@@ -85,6 +155,16 @@ func WithWindow(n int) Option {
 	}
 }
 
+// WithReconnect enables transparent reconnect after connection failures.
+// In-flight operations still fail fast with a *ConnError (the bytes on the
+// dead socket are unrecoverable), but the client redials in the background
+// with jittered exponential backoff; operations issued while disconnected
+// fail fast too, and flow again once the redial succeeds. Only effective
+// for clients built with Dial (NewClient has no address to redial).
+func WithReconnect(p ReconnectPolicy) Option {
+	return func(c *Client) { c.policy = p.withDefaults() }
+}
+
 // StatusError is returned for non-OK protocol responses.
 type StatusError struct {
 	Op     binproto.Opcode
@@ -114,47 +194,62 @@ func IsNotStored(err error) bool {
 	return ok && se.Status == binproto.StatusItemNotStored
 }
 
-// Dial connects to addr with the given timeout.
+// Dial connects to addr with the given timeout. The address is retained,
+// so WithReconnect can redial after a connection failure.
 func Dial(addr string, timeout time.Duration, opts ...Option) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn, opts...), nil
+	return newClient(conn, addr, timeout, opts...), nil
 }
 
 // NewClient wraps an established connection and starts the response reader.
 func NewClient(conn net.Conn, opts ...Option) *Client {
+	return newClient(conn, "", 0, opts...)
+}
+
+func newClient(conn net.Conn, addr string, dialTO time.Duration, opts ...Option) *Client {
 	c := &Client{
 		conn:    conn,
-		w:       bufio.NewWriter(conn),
+		addr:    addr,
+		dialTO:  dialTO,
 		pending: make(map[uint32]*call),
 		window:  make(chan struct{}, DefaultWindow),
 	}
+	c.w = bufio.NewWriter(conn)
 	for _, o := range opts {
 		o(c)
 	}
-	go c.readLoop(bufio.NewReader(conn))
+	go c.readLoop(bufio.NewReader(conn), 0)
 	return c
 }
 
-// Close closes the connection. Outstanding operations fail with ErrClosed.
+// Addr returns the dialed address ("" for NewClient-built clients).
+func (c *Client) Addr() string { return c.addr }
+
+// Close closes the connection. Outstanding operations fail with ErrClosed
+// and no reconnect is attempted.
 func (c *Client) Close() error {
-	c.failAll(ErrClosed)
+	c.wmu.Lock()
+	c.closed = true
+	gen := c.gen
+	c.wmu.Unlock()
+	c.failAll(gen, ErrClosed)
 	return nil
 }
 
-// readLoop is the single reader goroutine: it decodes responses and routes
-// each to its waiting caller by opaque.
-func (c *Client) readLoop(r *bufio.Reader) {
+// readLoop is the single reader goroutine for one connection generation:
+// it decodes responses and routes each to its waiting caller by opaque.
+func (c *Client) readLoop(r *bufio.Reader, gen int) {
 	for {
 		resp, err := binproto.Read(r)
 		if err != nil {
-			c.failAll(err)
+			c.failAll(gen, err)
 			return
 		}
 		if err := c.dispatch(resp); err != nil {
-			c.failAll(err)
+			c.failAll(gen, err)
 			return
 		}
 	}
@@ -203,19 +298,34 @@ func (c *Client) dispatch(resp *binproto.Frame) error {
 	return nil
 }
 
-// failAll poisons the client: the sticky error is set, the connection is
-// closed, and every outstanding caller is completed with err.
-func (c *Client) failAll(err error) {
+// failAll poisons the current connection generation: the sticky error is
+// set, the connection is closed, and every outstanding caller is completed
+// fast with a typed *ConnError — the cluster client retries those on a
+// replica. When a reconnect policy is configured, a background redial
+// starts; until it succeeds, new operations also fail fast.
+func (c *Client) failAll(gen int, cause error) {
 	c.wmu.Lock()
+	if gen != c.gen {
+		c.wmu.Unlock() // stale failure from an already-replaced connection
+		return
+	}
+	var err error
 	if c.err != nil {
 		err = c.err // first failure wins for consistency
 	} else {
+		err = &ConnError{Addr: c.addr, Permanent: c.closed, Err: cause}
 		c.err = err
 	}
 	pending := c.pending
 	c.pending = make(map[uint32]*call)
+	conn := c.conn
+	reconnect := !c.closed && c.addr != "" && c.policy.MaxAttempts > 0
+	if reconnect {
+		c.gen++ // later failures from this dead conn are stale
+		gen = c.gen
+	}
 	c.wmu.Unlock()
-	c.conn.Close()
+	conn.Close()
 	for _, cl := range pending {
 		if cl.batch != nil {
 			cl.batch.finish(err)
@@ -226,6 +336,54 @@ func (c *Client) failAll(err error) {
 		default:
 		}
 	}
+	if reconnect {
+		go c.reconnectLoop(gen)
+	}
+}
+
+// reconnectLoop redials with jittered exponential backoff. On success the
+// fresh connection replaces the dead one, the sticky error clears, and a
+// new reader starts; after MaxAttempts failures the client fails
+// permanently. Attempts are bounded per outage, not over the client's
+// lifetime: every established-then-broken connection gets a fresh budget.
+func (c *Client) reconnectLoop(gen int) {
+	delay := c.policy.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < c.policy.MaxAttempts; attempt++ {
+		jittered := delay/2 + time.Duration(rand.Int63n(int64(delay)))
+		time.Sleep(jittered)
+		conn, err := net.DialTimeout("tcp", c.addr, c.dialTO)
+		c.wmu.Lock()
+		if c.closed || c.gen != gen {
+			c.wmu.Unlock()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		if err == nil {
+			c.conn = conn
+			c.w = bufio.NewWriter(conn)
+			c.pending = make(map[uint32]*call)
+			c.err = nil
+			c.wmu.Unlock()
+			go c.readLoop(bufio.NewReader(conn), gen)
+			return
+		}
+		lastErr = err
+		c.wmu.Unlock()
+		if delay *= 2; delay > c.policy.MaxDelay {
+			delay = c.policy.MaxDelay
+		}
+	}
+	c.wmu.Lock()
+	if c.gen == gen && !c.closed {
+		c.err = &ConnError{
+			Addr: c.addr, Permanent: true,
+			Err: fmt.Errorf("reconnect: %d attempts exhausted: %w", c.policy.MaxAttempts, lastErr),
+		}
+	}
+	c.wmu.Unlock()
 }
 
 // send encodes req under the write lock, registers cl for its response,
@@ -247,8 +405,9 @@ func (c *Client) send(req *binproto.Frame, cl *call) error {
 	}
 	if err != nil {
 		delete(c.pending, req.Opaque)
+		gen := c.gen
 		c.wmu.Unlock()
-		c.failAll(err)
+		c.failAll(gen, err)
 		return err
 	}
 	c.wmu.Unlock()
@@ -385,8 +544,9 @@ func (c *Client) sendBatch(b *batch, n int, mk func(i int, opaque uint32) *binpr
 		for _, op := range b.opaques {
 			delete(c.pending, op)
 		}
+		gen := c.gen
 		c.wmu.Unlock()
-		c.failAll(err)
+		c.failAll(gen, err)
 		return err
 	}
 	for i := 0; i < n; i++ {

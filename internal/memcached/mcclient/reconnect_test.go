@@ -1,0 +1,192 @@
+package mcclient
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"hbb/internal/memcached"
+	"hbb/internal/memcached/mcserver"
+)
+
+// restartableServer runs an mcserver on a fixed loopback port so a test
+// can kill it and bring a fresh instance back on the same address.
+type restartableServer struct {
+	t    *testing.T
+	addr string
+	srv  *mcserver.Server
+}
+
+func startRestartable(t *testing.T) *restartableServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := &restartableServer{t: t, addr: ln.Addr().String()}
+	rs.srv = mcserver.New(memcached.Config{})
+	go rs.srv.Serve(ln)
+	t.Cleanup(func() { rs.srv.Close() })
+	return rs
+}
+
+func (rs *restartableServer) kill() { rs.srv.Close() }
+
+// restart brings a fresh (empty) server up on the same port. Loopback
+// rebinding can race the dying listener, so it retries briefly.
+func (rs *restartableServer) restart() {
+	rs.t.Helper()
+	var ln net.Listener
+	var err error
+	for i := 0; i < 100; i++ {
+		ln, err = net.Listen("tcp", rs.addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		rs.t.Fatalf("rebind %s: %v", rs.addr, err)
+	}
+	rs.srv = mcserver.New(memcached.Config{})
+	go rs.srv.Serve(ln)
+}
+
+// TestReconnectResumesAfterRestart kills the server under a connected
+// client with reconnect enabled: in-flight and interim ops fail fast with
+// a transient *ConnError, and once the server is back the same client
+// serves requests again without redialing by hand.
+func TestReconnectResumesAfterRestart(t *testing.T) {
+	rs := startRestartable(t)
+	c, err := Dial(rs.addr, time.Second, WithReconnect(ReconnectPolicy{
+		MaxAttempts: 50, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Set(&Item{Key: "k", Value: []byte("v")}); err != nil {
+		t.Fatal(err)
+	}
+	rs.kill()
+	// The outage must surface as a fast typed error, not a hang.
+	deadline := time.Now().Add(2 * time.Second)
+	sawConnErr := false
+	for time.Now().Before(deadline) {
+		_, err := c.Get("k")
+		if err == nil {
+			continue // a race: the get beat the kill
+		}
+		if !IsConnError(err) {
+			t.Fatalf("outage error not a ConnError: %v", err)
+		}
+		if IsPermanent(err) {
+			t.Fatalf("outage marked permanent while attempts remain: %v", err)
+		}
+		sawConnErr = true
+		break
+	}
+	if !sawConnErr {
+		t.Fatal("kill never surfaced an error")
+	}
+	rs.restart()
+	// The restarted server is empty; any successful round-trip proves the
+	// client reconnected transparently.
+	var lastErr error
+	for time.Now().Before(deadline.Add(3 * time.Second)) {
+		if _, lastErr = c.Set(&Item{Key: "k2", Value: []byte("v2")}); lastErr == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if lastErr != nil {
+		t.Fatalf("client never recovered after restart: %v", lastErr)
+	}
+	it, err := c.Get("k2")
+	if err != nil || string(it.Value) != "v2" {
+		t.Fatalf("post-reconnect get: %v %v", it, err)
+	}
+}
+
+// TestReconnectAttemptsExhaust pins the bounded-attempts contract: with
+// the server gone for good, the client fails permanently after its budget
+// and says so in the typed error.
+func TestReconnectAttemptsExhaust(t *testing.T) {
+	rs := startRestartable(t)
+	c, err := Dial(rs.addr, time.Second, WithReconnect(ReconnectPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Noop(); err != nil {
+		t.Fatal(err)
+	}
+	rs.kill()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		err := c.Noop()
+		if IsPermanent(err) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("client never became permanently failed after exhausting attempts")
+}
+
+// TestCloseWinsOverReconnect checks Close during an outage sticks: no
+// background redial resurrects an explicitly closed client.
+func TestCloseWinsOverReconnect(t *testing.T) {
+	rs := startRestartable(t)
+	c, err := Dial(rs.addr, time.Second, WithReconnect(ReconnectPolicy{
+		MaxAttempts: 100, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Noop(); err != nil {
+		t.Fatal(err)
+	}
+	rs.kill()
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	rs.restart()
+	time.Sleep(100 * time.Millisecond)
+	if err := c.Noop(); err == nil {
+		t.Fatal("closed client served a request after restart")
+	} else if !errors.Is(err, ErrClosed) && !IsConnError(err) {
+		t.Fatalf("closed client error has wrong type: %v", err)
+	}
+}
+
+// TestNoReconnectByDefault pins the legacy sticky-error behaviour when no
+// policy is configured.
+func TestNoReconnectByDefault(t *testing.T) {
+	rs := startRestartable(t)
+	c, err := Dial(rs.addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Noop(); err != nil {
+		t.Fatal(err)
+	}
+	rs.kill()
+	rs.restart()
+	deadline := time.Now().Add(time.Second)
+	var sawErr error
+	for time.Now().Before(deadline) {
+		if sawErr = c.Noop(); sawErr != nil {
+			break
+		}
+	}
+	if sawErr == nil {
+		t.Fatal("kill never surfaced")
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := c.Noop(); err == nil {
+		t.Fatal("client without reconnect policy recovered by itself")
+	}
+}

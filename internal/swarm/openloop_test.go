@@ -1,0 +1,110 @@
+package swarm
+
+import "testing"
+
+// TestOpenLoopDeterministic: the same seed yields the same stream.
+func TestOpenLoopDeterministic(t *testing.T) {
+	a, err := NewOpenLoop(100, 50000, 1000, 1.2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewOpenLoop(100, 50000, 1000, 1.2, 42)
+	for i := 0; i < 10000; i++ {
+		at1, k1 := a.Next()
+		at2, k2 := b.Next()
+		if at1 != at2 || k1 != k2 {
+			t.Fatalf("streams diverged at %d: (%d,%d) vs (%d,%d)", i, at1, k1, at2, k2)
+		}
+	}
+	c, _ := NewOpenLoop(100, 50000, 1000, 1.2, 43)
+	same := 0
+	a2, _ := NewOpenLoop(100, 50000, 1000, 1.2, 42)
+	for i := 0; i < 1000; i++ {
+		at1, _ := a2.Next()
+		at2, _ := c.Next()
+		if at1 == at2 {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds nearly identical: %d/1000 equal arrivals", same)
+	}
+}
+
+// TestOpenLoopRate: N clients at target QPS produce ~QPS arrivals per
+// simulated second, monotonically ordered.
+func TestOpenLoopRate(t *testing.T) {
+	const qps = 200000.0
+	o, err := NewOpenLoop(1000, qps, 100000, 1.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400000
+	var last, final int64 = -1, 0
+	for i := 0; i < n; i++ {
+		at, key := o.Next()
+		if at < last {
+			t.Fatalf("arrival %d out of order: %d < %d", i, at, last)
+		}
+		if key < 0 || key >= 100000 {
+			t.Fatalf("key %d out of range", key)
+		}
+		last = at
+		final = at
+	}
+	got := float64(n) / (float64(final) / 1e9)
+	if got < qps*0.95 || got > qps*1.05 {
+		t.Fatalf("observed rate %.0f, want within 5%% of %.0f", got, qps)
+	}
+}
+
+// TestOpenLoopZipfSkew: with skew on, the most popular key dominates in
+// a way a uniform stream never would.
+func TestOpenLoopZipfSkew(t *testing.T) {
+	count := func(skew float64) (top float64) {
+		o, err := NewOpenLoop(10, 1e6, 10000, skew, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		freq := map[int]int{}
+		const n = 100000
+		for i := 0; i < n; i++ {
+			_, k := o.Next()
+			freq[k]++
+		}
+		max := 0
+		for _, c := range freq {
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) / n
+	}
+	skewed, uniform := count(1.3), count(0)
+	if skewed < 0.10 {
+		t.Fatalf("zipf 1.3 top-key share %.3f, want >= 0.10", skewed)
+	}
+	if uniform > 0.01 {
+		t.Fatalf("uniform top-key share %.4f, want < 0.01", uniform)
+	}
+}
+
+// TestOpenLoopValidation pins constructor errors.
+func TestOpenLoopValidation(t *testing.T) {
+	cases := []struct {
+		clients int
+		qps     float64
+		keys    int
+		skew    float64
+	}{
+		{0, 100, 10, 0},
+		{1, 0, 10, 0},
+		{1, 100, 1, 0},
+		{1, 100, 10, 0.9},
+	}
+	for _, tc := range cases {
+		if _, err := NewOpenLoop(tc.clients, tc.qps, tc.keys, tc.skew, 1); err == nil {
+			t.Errorf("NewOpenLoop(%+v) accepted", tc)
+		}
+	}
+}
